@@ -1,0 +1,97 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Not part of the paper's tables, but they quantify the individual
+contributions of the optimizations the paper describes: vectorization,
+the load/store analysis (Fig. 12), the R0/R1 rewrite rules (Table 2), and
+the algorithmic autotuning over Cl1ck variants.
+"""
+
+import pytest
+
+from conftest import write_series
+from repro.applications import make_case
+from repro.bench import measure_slingen
+from repro.slingen import Options
+
+
+def _cycles(case, **kwargs):
+    options = Options(annotate_code=False, **kwargs)
+    generated, _, _ = measure_slingen(case, options)
+    return generated.performance.cycles
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_vectorization(benchmark, results_dir):
+    case = make_case("potrf", 24)
+
+    def build():
+        return (_cycles(case, vectorize=True, autotune=False),
+                _cycles(case, vectorize=False, autotune=False))
+
+    vectorized, scalar = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = (f"[ablation-vectorization] potrf n=24: "
+             f"vectorized={vectorized:.0f} cycles, scalar={scalar:.0f} cycles")
+    write_series(results_dir, "ablation_vectorization", table)
+    print("\n" + table)
+    assert vectorized < scalar
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_loadstore(benchmark, results_dir):
+    case = make_case("potrf", 16)
+
+    def build():
+        with_lsa, _, _ = measure_slingen(case, Options(
+            autotune=False, load_store_analysis=True, annotate_code=False))
+        without_lsa, _, _ = measure_slingen(case, Options(
+            autotune=False, load_store_analysis=False, annotate_code=False))
+        return with_lsa, without_lsa
+
+    with_lsa, without_lsa = benchmark.pedantic(build, rounds=1, iterations=1)
+    mix_with = with_lsa.performance.mix
+    mix_without = without_lsa.performance.mix
+    table = ("[ablation-loadstore] potrf n=16: loads "
+             f"{mix_with.load_issues:.0f} (with analysis) vs "
+             f"{mix_without.load_issues:.0f} (without); forwarded "
+             f"{with_lsa.pass_report.load_store.total} accesses")
+    write_series(results_dir, "ablation_loadstore", table)
+    print("\n" + table)
+    assert with_lsa.pass_report.load_store.total > 0
+    assert mix_with.load_issues <= mix_without.load_issues
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_autotune(benchmark, results_dir):
+    case = make_case("trtri", 24)
+
+    def build():
+        return (_cycles(case, autotune=True, max_variants=8),
+                _cycles(case, autotune=False))
+
+    tuned, untuned = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = (f"[ablation-autotune] trtri n=24: autotuned={tuned:.0f} cycles, "
+             f"default-variant={untuned:.0f} cycles")
+    write_series(results_dir, "ablation_autotune", table)
+    print("\n" + table)
+    assert tuned <= untuned
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rewrite_rules(benchmark, results_dir):
+    case = make_case("gpr", 16)
+
+    def build():
+        with_rules, _, _ = measure_slingen(case, Options(
+            autotune=False, rewrite_rules=True, annotate_code=False))
+        without_rules, _, _ = measure_slingen(case, Options(
+            autotune=False, rewrite_rules=False, annotate_code=False))
+        return with_rules, without_rules
+
+    with_rules, without_rules = benchmark.pedantic(build, rounds=1,
+                                                   iterations=1)
+    table = (f"[ablation-rewrite] gpr n=16: "
+             f"{with_rules.performance.cycles:.0f} cycles (with R0/R1) vs "
+             f"{without_rules.performance.cycles:.0f} cycles (without)")
+    write_series(results_dir, "ablation_rewrite", table)
+    print("\n" + table)
+    assert with_rules.performance.cycles <= without_rules.performance.cycles * 1.05

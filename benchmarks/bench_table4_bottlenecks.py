@@ -1,0 +1,75 @@
+"""Table 4: ERM-style bottleneck analysis of the SLinGen-generated HLAC code.
+
+For each routine and size the table reports the bottleneck resource, the
+shuffle/blend issue rate, and the achievable peak performance when taking
+shuffles/blends into account -- the same columns as the paper's Table 4.
+The paper's qualitative finding is asserted: at small sizes the generated
+code is limited by divisions/square roots; at larger sizes by L1 traffic
+(or the floating-point ports), never by the shuffles/blends introduced by
+the vectorization strategy.
+"""
+
+import os
+
+import pytest
+
+from conftest import write_series
+from repro.applications import make_case
+from repro.bench import full_sizes_requested, generator_options, measure_slingen
+
+ROUTINES = ("potrf", "trsyl", "trlya", "trtri")
+
+
+def _sizes():
+    return [4, 76, 124] if full_sizes_requested() else [4, 20, 36]
+
+
+def _row(name, size):
+    case = make_case(name, size)
+    generated, _, _ = measure_slingen(case, generator_options(autotune=False))
+    perf = generated.performance
+    return {
+        "computation": name,
+        "size": size,
+        "bottleneck": perf.bottleneck,
+        "shuffle_blend_issue_rate": perf.shuffle_blend_issue_rate,
+        "perf_limit_shuffles": perf.perf_limit_shuffles,
+        "perf_limit_blends": perf.perf_limit_blends,
+    }
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_bottleneck_analysis(benchmark, results_dir):
+    def build():
+        rows = []
+        for name in ROUTINES:
+            for size in _sizes():
+                rows.append(_row(name, size))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = ["[table4]  bottleneck analysis of SLinGen-generated code",
+             f"{'routine':8s} {'n':>4s} {'bottleneck':>12s} "
+             f"{'sh/bl rate':>10s} {'lim(shuf)':>10s} {'lim(blend)':>10s}"]
+    for row in rows:
+        lines.append(f"{row['computation']:8s} {row['size']:4d} "
+                     f"{row['bottleneck']:>12s} "
+                     f"{row['shuffle_blend_issue_rate']:10.2f} "
+                     f"{row['perf_limit_shuffles']:10.2f} "
+                     f"{row['perf_limit_blends']:10.2f}")
+    table = "\n".join(lines)
+    write_series(results_dir, "table4_bottlenecks", table)
+    print("\n" + table)
+
+    # Paper's qualitative findings.
+    for row in rows:
+        if row["size"] == 4:
+            assert row["bottleneck"] == "divs/sqrt", row
+        # Shuffles/blends never reduce achievable peak below what the paper
+        # reports (>= 3.2 f/c even in the worst case, Table 4; we allow a
+        # little slack because instruction mixes differ from the authors').
+        assert row["perf_limit_shuffles"] >= 2.0, row
+        assert row["perf_limit_blends"] >= 2.0, row
+    large = [row for row in rows if row["size"] == _sizes()[-1]]
+    assert any(row["bottleneck"] != "divs/sqrt" for row in large)

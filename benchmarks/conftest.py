@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite (one target per paper figure/table).
+
+Each benchmark regenerates one figure/table of the paper's evaluation and
+writes the resulting series table to ``results/<name>.txt`` (flops/cycle vs.
+problem size for SLinGen and every baseline), in addition to the
+pytest-benchmark timing of the generator itself.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+
+RESULTS_DIR = os.path.join(_ROOT, "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_series(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

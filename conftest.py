@@ -1,0 +1,13 @@
+"""Pytest configuration: make the in-tree package importable without install.
+
+The canonical way to use the repository is ``pip install -e .``; this file
+only exists so that ``pytest`` also works from a fresh checkout (or on
+machines where editable installs are unavailable, e.g. offline CI).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

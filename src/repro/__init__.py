@@ -1,0 +1,26 @@
+"""repro -- a from-scratch reproduction of SLinGen (Spampinato et al., CGO 2018).
+
+"Program Generation for Small-Scale Linear Algebra Applications": a program
+generator that compiles applications written in a small linear-algebra DSL
+(LA) into optimized single-source C code (optionally with AVX intrinsics).
+
+Quickstart::
+
+    from repro import SLinGen, Options
+    from repro.la import parse_program
+
+    prog = parse_program(source, constants={"n": 8})
+    result = SLinGen(Options(vectorize=True)).generate(prog)
+    print(result.c_code)               # single-source C with intrinsics
+    outputs = result.run(inputs)       # execute via the C-IR interpreter
+    print(result.performance.summary())
+"""
+
+from .errors import ReproError
+from .slingen.generator import GeneratedCode, SLinGen, generate
+from .slingen.options import Options
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "GeneratedCode", "SLinGen", "generate", "Options",
+           "__version__"]

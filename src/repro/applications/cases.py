@@ -1,0 +1,358 @@
+"""The paper's benchmark computations as LA programs + reference oracles.
+
+Each :class:`BenchmarkCase` bundles
+
+* the LA source program (exercising the frontend of Fig. 4/5),
+* the nominal flop count used on the y-axis of the paper's plots,
+* an input generator producing well-conditioned random operands, and
+* a reference oracle (numpy/scipy) producing the expected outputs.
+
+Cases cover the four HLACs of Table 3 (potrf, trsyl, trlya, trtri) and the
+three applications of Fig. 13 (kf, gpr, l1a) plus the kf-28 sweep of
+Fig. 15b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..ir.program import Program
+from ..kernels import reference as ref
+from ..la import parse_program
+
+
+@dataclass
+class BenchmarkCase:
+    """One benchmark computation: program, inputs, oracle, cost."""
+
+    name: str
+    program: Program
+    nominal_flops: float
+    make_inputs: Callable[[int], Dict[str, np.ndarray]]
+    reference: Callable[[Dict[str, np.ndarray]], Dict[str, np.ndarray]]
+    #: outputs to check and how ("full", "lower", "upper")
+    checked_outputs: Dict[str, str] = field(default_factory=dict)
+    size: int = 0
+    kind: str = "hlac"
+
+    def reference_outputs(self, inputs: Dict[str, np.ndarray]
+                          ) -> Dict[str, np.ndarray]:
+        return self.reference(inputs)
+
+
+# ---------------------------------------------------------------------------
+# HLAC cases (Table 3)
+# ---------------------------------------------------------------------------
+
+
+def potrf_case(n: int) -> BenchmarkCase:
+    """Cholesky decomposition ``X^T X = A`` with X upper triangular."""
+    source = """
+    Mat S(n, n) <In, UpSym, PD>;
+    Mat U(n, n) <Out, UpTri, NS>;
+    U' * U = S;
+    """
+    program = parse_program(source, {"n": n}, name=f"potrf_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"S": ref.random_spd(n, rng)}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"U": ref.potrf_upper(inputs["S"])}
+
+    return BenchmarkCase(name="potrf", program=program,
+                         nominal_flops=ref.cost_potrf(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"U": "upper"}, size=n, kind="hlac")
+
+
+def trsyl_case(n: int) -> BenchmarkCase:
+    """Triangular Sylvester equation ``L X + X U = C``."""
+    source = """
+    Mat L(n, n) <In, LoTri, NS>;
+    Mat U(n, n) <In, UpTri, NS>;
+    Mat C(n, n) <In>;
+    Mat X(n, n) <Out>;
+    L * X + X * U = C;
+    """
+    program = parse_program(source, {"n": n}, name=f"trsyl_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"L": ref.random_lower_triangular(n, rng),
+                "U": ref.random_upper_triangular(n, rng),
+                "C": rng.standard_normal((n, n))}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"X": ref.trsyl(inputs["L"], inputs["U"], inputs["C"])}
+
+    return BenchmarkCase(name="trsyl", program=program,
+                         nominal_flops=ref.cost_trsyl(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"X": "full"}, size=n, kind="hlac")
+
+
+def trlya_case(n: int) -> BenchmarkCase:
+    """Triangular Lyapunov equation ``L X + X L^T = S`` (X symmetric)."""
+    source = """
+    Mat L(n, n) <In, LoTri, NS>;
+    Mat S(n, n) <In, UpSym>;
+    Mat X(n, n) <Out, UpSym>;
+    L * X + X * L' = S;
+    """
+    program = parse_program(source, {"n": n}, name=f"trlya_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        sym = rng.standard_normal((n, n))
+        return {"L": ref.random_lower_triangular(n, rng),
+                "S": sym + sym.T}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"X": ref.trlya(inputs["L"], inputs["S"])}
+
+    return BenchmarkCase(name="trlya", program=program,
+                         nominal_flops=ref.cost_trlya(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"X": "full"}, size=n, kind="hlac")
+
+
+def trtri_case(n: int) -> BenchmarkCase:
+    """Triangular matrix inversion ``X = L^{-1}``."""
+    source = """
+    Mat L(n, n) <In, LoTri, NS>;
+    Mat X(n, n) <Out, LoTri, NS>;
+    X = inv(L);
+    """
+    program = parse_program(source, {"n": n}, name=f"trtri_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"L": ref.random_lower_triangular(n, rng)}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"X": ref.trtri(inputs["L"], lower=True)}
+
+    return BenchmarkCase(name="trtri", program=program,
+                         nominal_flops=ref.cost_trtri(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"X": "lower"}, size=n, kind="hlac")
+
+
+# ---------------------------------------------------------------------------
+# Application cases (Fig. 13)
+# ---------------------------------------------------------------------------
+
+
+KF_SOURCE = """
+Mat F(n, n) <In>;
+Mat B(n, n) <In>;
+Mat Q(n, n) <In, UpSym>;
+Mat H(k, n) <In>;
+Mat R(k, k) <In, UpSym, PD>;
+Mat P(n, n) <InOut, UpSym, PD>;
+Vec u(n) <In>;
+Vec x(n) <InOut>;
+Vec z(k) <In>;
+Vec y(n) <Out>;
+Mat Y(n, n) <Out>;
+Vec v0(k) <Out>;
+Mat M1(k, n) <Out>;
+Mat M2(n, k) <Out>;
+Mat M3(k, k) <Out, UpSym, PD>;
+Mat U(k, k) <Out, UpTri, NS, ow(M3)>;
+Vec v1(k) <Out>;
+Vec v2(k) <Out>;
+Mat M4(k, n) <Out>;
+Mat M5(k, n) <Out>;
+
+y = F * x + B * u;
+Y = F * P * F' + Q;
+v0 = z - H * y;
+M1 = H * Y;
+M2 = Y * H';
+M3 = M1 * H' + R;
+U' * U = M3;
+U' * v1 = v0;
+U * v2 = v1;
+U' * M4 = M1;
+U * M5 = M4;
+x = y + M2 * v2;
+P = Y - M2 * M5;
+"""
+
+
+def kf_case(n: int, k: Optional[int] = None) -> BenchmarkCase:
+    """One Kalman-filter iteration with ``n`` states and ``k`` observations."""
+    k = n if k is None else k
+    program = parse_program(KF_SOURCE, {"n": n, "k": k}, name=f"kf_{n}_{k}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            "F": np.eye(n) + 0.1 * rng.standard_normal((n, n)),
+            "B": rng.standard_normal((n, n)) / np.sqrt(n),
+            "Q": ref.random_spd(n, rng) * 0.1,
+            "H": rng.standard_normal((k, n)) / np.sqrt(n),
+            "R": ref.random_spd(k, rng),
+            "P": ref.random_spd(n, rng),
+            "u": rng.standard_normal((n, 1)),
+            "x": rng.standard_normal((n, 1)),
+            "z": rng.standard_normal((k, 1)),
+        }
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        out = ref.kalman_filter_step(inputs)
+        return {"x": out["x"], "P": out["P"]}
+
+    return BenchmarkCase(name="kf" if k == n else "kf-28", program=program,
+                         nominal_flops=ref.cost_kf(n, k),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"x": "full", "P": "full"},
+                         size=n if k == n else k, kind="application")
+
+
+GPR_SOURCE = """
+Mat K(n, n) <In, UpSym, PD>;
+Mat X(n, n) <In>;
+Vec x(n) <In>;
+Vec y(n) <In>;
+Mat L(n, n) <Out, LoTri, NS>;
+Vec t0(n) <Out>;
+Vec t1(n) <Out>;
+Vec ks(n) <Out>;
+Vec v(n) <Out>;
+Sca phi <Out>;
+Sca psi <Out>;
+Sca lambda <Out>;
+
+L * L' = K;
+L * t0 = y;
+L' * t1 = t0;
+ks = X * x;
+phi = ks' * t1;
+L * v = ks;
+psi = x' * x - v' * v;
+lambda = y' * t1;
+"""
+
+
+def gpr_case(n: int) -> BenchmarkCase:
+    """Gaussian-process regression (predictive mean/variance, Fig. 13b)."""
+    program = parse_program(GPR_SOURCE, {"n": n}, name=f"gpr_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"K": ref.random_spd(n, rng),
+                "X": rng.standard_normal((n, n)) / np.sqrt(n),
+                "x": rng.standard_normal((n, 1)),
+                "y": rng.standard_normal((n, 1))}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        out = ref.gaussian_process_regression(inputs)
+        return {"phi": np.array([[out["phi"]]]),
+                "psi": np.array([[out["psi"]]]),
+                "lambda": np.array([[out["lambda"]]])}
+
+    return BenchmarkCase(name="gpr", program=program,
+                         nominal_flops=ref.cost_gpr(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"phi": "full", "psi": "full",
+                                          "lambda": "full"},
+                         size=n, kind="application")
+
+
+L1A_SOURCE = """
+Mat W(n, n) <In>;
+Mat A(n, n) <In>;
+Vec x0(n) <In>;
+Vec y(n) <In>;
+Vec v1(n) <InOut>;
+Vec z1(n) <InOut>;
+Vec v2(n) <InOut>;
+Vec z2(n) <InOut>;
+Sca alpha <In>;
+Sca beta <In>;
+Sca tau <In>;
+Vec y1(n) <Out>;
+Vec y2(n) <Out>;
+Vec x1(n) <Out>;
+Vec x(n) <Out>;
+
+y1 = alpha * v1 + tau * z1;
+y2 = alpha * v2 + tau * z2;
+x1 = W' * y1 - A' * y2;
+x = x0 + beta * x1;
+z1 = y1 - W * x;
+z2 = y2 - (y - A * x);
+v1 = alpha * v1 + tau * z1;
+v2 = alpha * v2 + tau * z2;
+"""
+
+
+def l1a_case(n: int) -> BenchmarkCase:
+    """One iteration of the L1-analysis convex solver (Fig. 13c)."""
+    program = parse_program(L1A_SOURCE, {"n": n}, name=f"l1a_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"W": rng.standard_normal((n, n)) / np.sqrt(n),
+                "A": rng.standard_normal((n, n)) / np.sqrt(n),
+                "x0": rng.standard_normal((n, 1)),
+                "y": rng.standard_normal((n, 1)),
+                "v1": rng.standard_normal((n, 1)),
+                "z1": rng.standard_normal((n, 1)),
+                "v2": rng.standard_normal((n, 1)),
+                "z2": rng.standard_normal((n, 1)),
+                "alpha": np.array([[0.9]]),
+                "beta": np.array([[0.5]]),
+                "tau": np.array([[0.3]])}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return ref.l1_analysis_step(inputs)
+
+    return BenchmarkCase(name="l1a", program=program,
+                         nominal_flops=ref.cost_l1a(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"v1": "full", "z1": "full",
+                                          "v2": "full", "z2": "full"},
+                         size=n, kind="application")
+
+
+# ---------------------------------------------------------------------------
+# Case registry
+# ---------------------------------------------------------------------------
+
+HLAC_CASES: Dict[str, Callable[[int], BenchmarkCase]] = {
+    "potrf": potrf_case,
+    "trsyl": trsyl_case,
+    "trlya": trlya_case,
+    "trtri": trtri_case,
+}
+
+APPLICATION_CASES: Dict[str, Callable[[int], BenchmarkCase]] = {
+    "kf": kf_case,
+    "gpr": gpr_case,
+    "l1a": l1a_case,
+}
+
+
+def make_case(name: str, n: int, k: Optional[int] = None) -> BenchmarkCase:
+    """Construct a benchmark case by name ('potrf', 'kf', 'kf-28', ...)."""
+    if name == "kf-28":
+        return kf_case(28, k if k is not None else n)
+    if name in HLAC_CASES:
+        return HLAC_CASES[name](n)
+    if name in APPLICATION_CASES:
+        if name == "kf":
+            return kf_case(n, k)
+        return APPLICATION_CASES[name](n)
+    raise KeyError(f"unknown benchmark case {name!r}")
+
+
+def all_case_names() -> List[str]:
+    return list(HLAC_CASES) + list(APPLICATION_CASES) + ["kf-28"]

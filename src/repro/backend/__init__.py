@@ -1,0 +1,11 @@
+"""C backends: unparsing to C (scalar / AVX intrinsics) and gcc compile-run."""
+
+from .c_unparser import CUnparser, unparse_function
+from .compile import (CompiledKernel, compile_kernel, compiler_available,
+                      find_c_compiler)
+
+__all__ = [
+    "CUnparser", "unparse_function",
+    "CompiledKernel", "compile_kernel", "compiler_available",
+    "find_c_compiler",
+]

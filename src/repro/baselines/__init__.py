@@ -1,0 +1,11 @@
+"""Models of the paper's competitor implementations (MKL, Eigen, icc, ...)."""
+
+from .models import (BaselineResult, KernelModel, baseline_names, cl1ck_mkl,
+                     clang_polly, eigen, evaluate_baseline, icc, mkl, recsy,
+                     relapack)
+
+__all__ = [
+    "BaselineResult", "KernelModel", "baseline_names", "cl1ck_mkl",
+    "clang_polly", "eigen", "evaluate_baseline", "icc", "mkl", "recsy",
+    "relapack",
+]

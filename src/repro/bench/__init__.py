@@ -1,0 +1,11 @@
+"""Benchmark harness shared by the benchmarks/ directory and EXPERIMENTS.md."""
+
+from .harness import (Series, SeriesPoint, application_sizes,
+                      full_sizes_requested, generator_options, hlac_sizes,
+                      kf28_observation_sizes, measure_slingen, run_series)
+
+__all__ = [
+    "Series", "SeriesPoint", "application_sizes", "full_sizes_requested",
+    "generator_options", "hlac_sizes", "kf28_observation_sizes",
+    "measure_slingen", "run_series",
+]

@@ -1,0 +1,169 @@
+"""Benchmark harness: regenerates the rows/series of every figure and table.
+
+Each figure of the paper is a performance-vs-size plot (flops/cycle on the
+y-axis).  :func:`run_series` produces exactly that: for one benchmark case
+family and a list of sizes, it generates SLinGen code (measuring it with the
+machine model) and evaluates every baseline, returning a table that the
+benchmark scripts print in the same layout as the paper's plots.
+
+Sizes default to a reduced grid so the full suite runs in minutes; set the
+environment variable ``REPRO_FULL_SIZES=1`` to use the paper's grid
+(4..124 for HLACs, 4..52 for applications).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..applications.cases import BenchmarkCase, make_case
+from ..baselines.models import baseline_names, evaluate_baseline
+from ..machine.microarch import MicroArchitecture, default_machine
+from ..slingen.generator import SLinGen
+from ..slingen.options import Options
+
+
+def full_sizes_requested() -> bool:
+    return os.environ.get("REPRO_FULL_SIZES", "0") not in ("", "0", "false")
+
+
+def hlac_sizes() -> List[int]:
+    """Sizes of the x-axis of Fig. 14 (reduced grid by default)."""
+    if full_sizes_requested():
+        return [4, 28, 52, 76, 100, 124]
+    return [4, 12, 24, 36]
+
+
+def application_sizes() -> List[int]:
+    """Sizes of the x-axis of Fig. 15 (reduced grid by default)."""
+    if full_sizes_requested():
+        return [4, 12, 20, 28, 36, 44, 52]
+    return [4, 12, 20, 28]
+
+
+def kf28_observation_sizes() -> List[int]:
+    if full_sizes_requested():
+        return [4, 8, 12, 16, 20, 24, 28]
+    return [4, 12, 20, 28]
+
+
+@dataclass
+class SeriesPoint:
+    """Performance of every implementation at one problem size."""
+
+    size: int
+    flops: float
+    performance: Dict[str, float]          # implementation -> flops/cycle
+    cycles: Dict[str, float]
+    bottleneck: str = ""
+    variant: str = ""
+    correct: Optional[bool] = None
+
+
+@dataclass
+class Series:
+    """A full figure: one benchmark family swept over sizes."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def implementations(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for impl in point.performance:
+                if impl not in names:
+                    names.append(impl)
+        return names
+
+    def column(self, implementation: str) -> List[float]:
+        return [point.performance.get(implementation, float("nan"))
+                for point in self.points]
+
+    def speedup(self, over: str) -> List[float]:
+        """SLinGen speedup over a baseline at every size."""
+        values = []
+        for point in self.points:
+            ours = point.performance.get("slingen")
+            theirs = point.performance.get(over)
+            if ours and theirs:
+                values.append(ours / theirs)
+        return values
+
+    def format_table(self) -> str:
+        """Render the series as an aligned text table (paper-plot layout)."""
+        impls = self.implementations()
+        header = ["n"] + impls
+        rows = [header]
+        for point in self.points:
+            row = [str(point.size)]
+            for impl in impls:
+                value = point.performance.get(impl)
+                row.append(f"{value:.3f}" if value is not None else "-")
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [f"[{self.name}]  performance in flops/cycle vs. size"]
+        for row in rows:
+            lines.append("  ".join(cell.rjust(width)
+                                   for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def generator_options(vectorize: bool = True, autotune: bool = True,
+                      max_variants: int = 6) -> Options:
+    return Options(vectorize=vectorize, autotune=autotune,
+                   max_variants=max_variants, annotate_code=False)
+
+
+def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
+                    machine: Optional[MicroArchitecture] = None,
+                    validate: bool = False):
+    """Generate code for one case and return (GeneratedCode, f/c, correct?)."""
+    machine = machine or default_machine()
+    generator = SLinGen(options or generator_options(), machine=machine)
+    generated = generator.generate(case.program,
+                                   nominal_flops=case.nominal_flops)
+    correct: Optional[bool] = None
+    if validate:
+        inputs = case.make_inputs(seed=17)
+        outputs = generated.run(inputs)
+        expected = case.reference_outputs(inputs)
+        correct = True
+        for key, mode in case.checked_outputs.items():
+            got, want = outputs[key], expected[key]
+            if mode == "lower":
+                got, want = np.tril(got), np.tril(want)
+            elif mode == "upper":
+                got, want = np.triu(got), np.triu(want)
+            correct = correct and bool(np.allclose(got, want, atol=1e-7))
+    return generated, generated.performance.flops_per_cycle, correct
+
+
+def run_series(case_name: str, sizes: Sequence[int],
+               case_factory: Optional[Callable[[int], BenchmarkCase]] = None,
+               options: Optional[Options] = None,
+               machine: Optional[MicroArchitecture] = None,
+               baselines: Optional[List[str]] = None,
+               validate: bool = False) -> Series:
+    """Run one figure: SLinGen + all baselines over a size sweep."""
+    machine = machine or default_machine()
+    series = Series(name=case_name)
+    for size in sizes:
+        case = case_factory(size) if case_factory else make_case(case_name,
+                                                                 size)
+        generated, ours, correct = measure_slingen(case, options, machine,
+                                                   validate)
+        performance = {"slingen": ours}
+        cycles = {"slingen": generated.performance.cycles}
+        for baseline in (baselines if baselines is not None
+                         else baseline_names(case.name)):
+            result = evaluate_baseline(baseline, case, machine)
+            performance[baseline] = result.flops_per_cycle
+            cycles[baseline] = result.cycles
+        series.points.append(SeriesPoint(
+            size=size, flops=case.nominal_flops, performance=performance,
+            cycles=cycles, bottleneck=generated.performance.bottleneck,
+            variant=generated.variant_label, correct=correct))
+    return series

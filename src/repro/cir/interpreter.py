@@ -1,0 +1,313 @@
+"""A numpy-backed interpreter for C-IR functions.
+
+The interpreter gives C-IR an executable semantics independent of a C
+compiler: every generated kernel can be run on numpy inputs and compared
+against a reference implementation.  The vector operations implement the
+exact semantics of the AVX instructions they are unparsed to
+(``blend_pd``, ``shuffle_pd``, ``permute2f128_pd``, ``unpacklo/hi_pd``,
+masked loads/stores), so that the load/store analysis of Stage 3 can be
+validated end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import InterpreterError
+from .nodes import (Affine, Assign, BinOp, Buffer, CExpr, Comment, CStmt,
+                    FloatConst, For, Function, If, Load, ScalarVar, Store,
+                    UnOp, VBinOp, VBlend, VBroadcast, VecVar, VExtract, VFma,
+                    VLoad, VPermute2f128, VReduceAdd, VSet, VShufflePd, VStore,
+                    VUnpack, VZero)
+
+Value = Union[float, np.ndarray]
+
+
+class Interpreter:
+    """Executes a :class:`~repro.cir.nodes.Function` on numpy buffers."""
+
+    def __init__(self, function: Function):
+        self.function = function
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, inputs: Dict[str, np.ndarray],
+            check_finite: bool = False) -> Dict[str, np.ndarray]:
+        """Execute the function.
+
+        Parameters
+        ----------
+        inputs:
+            Maps parameter names to 2-D numpy arrays (or scalars for 1x1
+            buffers).  Input buffers are copied, so callers' arrays are never
+            modified.  Output-only parameters may be omitted.
+        check_finite:
+            When true, raise if any output contains NaN/Inf.
+
+        Returns
+        -------
+        dict
+            Maps every writable parameter name to its final 2-D value.
+        """
+        storage: Dict[str, np.ndarray] = {}
+        for buf in self.function.params:
+            if buf.name in inputs:
+                arr = np.asarray(inputs[buf.name], dtype=np.float64)
+                if arr.ndim == 0:
+                    arr = arr.reshape(1, 1)
+                if arr.ndim == 1:
+                    if buf.cols == 1:
+                        arr = arr.reshape(-1, 1)
+                    else:
+                        arr = arr.reshape(1, -1)
+                if arr.shape != (buf.rows, buf.cols):
+                    raise InterpreterError(
+                        f"input {buf.name!r} has shape {arr.shape}, expected "
+                        f"{(buf.rows, buf.cols)}")
+                storage[buf.name] = arr.flatten().astype(np.float64)
+            elif buf.kind == "in" or buf.kind == "inout":
+                raise InterpreterError(f"missing input buffer {buf.name!r}")
+            else:
+                storage[buf.name] = np.zeros(buf.size, dtype=np.float64)
+        for buf in self.function.temps:
+            storage[buf.name] = np.zeros(buf.size, dtype=np.float64)
+
+        env: Dict[str, Value] = {}
+        self._storage = storage
+        self._exec_block(self.function.body, env, {})
+
+        outputs: Dict[str, np.ndarray] = {}
+        for buf in self.function.params:
+            if buf.writable:
+                out = storage[buf.name].reshape(buf.rows, buf.cols).copy()
+                if check_finite and not np.all(np.isfinite(out)):
+                    raise InterpreterError(
+                        f"output {buf.name!r} contains non-finite values")
+                outputs[buf.name] = out
+        return outputs
+
+    # -- statement execution --------------------------------------------------
+
+    def _exec_block(self, stmts, env: Dict[str, Value],
+                    indices: Dict[str, int]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env, indices)
+
+    def _exec_stmt(self, stmt: CStmt, env: Dict[str, Value],
+                   indices: Dict[str, int]) -> None:
+        if isinstance(stmt, Comment):
+            return
+        if isinstance(stmt, Assign):
+            env[stmt.dest.name] = self._eval(stmt.value, env, indices)
+            return
+        if isinstance(stmt, Store):
+            buf = self._buffer_array(stmt.buffer)
+            idx = stmt.index.evaluate(indices)
+            self._check_index(stmt.buffer, idx, 1)
+            buf[idx] = float(self._as_scalar(self._eval(stmt.value, env,
+                                                        indices)))
+            return
+        if isinstance(stmt, VStore):
+            buf = self._buffer_array(stmt.buffer)
+            idx = stmt.index.evaluate(indices)
+            value = self._as_vector(self._eval(stmt.value, env, indices),
+                                    stmt.width)
+            mask = stmt.mask if stmt.mask is not None else (True,) * stmt.width
+            for lane, keep in enumerate(mask):
+                if keep:
+                    self._check_index(stmt.buffer, idx + lane, 1)
+                    buf[idx + lane] = value[lane]
+            return
+        if isinstance(stmt, For):
+            for value in stmt.iterations():
+                inner = dict(indices)
+                inner[stmt.var] = value
+                self._exec_block(stmt.body, env, inner)
+            return
+        if isinstance(stmt, If):
+            branch = stmt.then_body if stmt.evaluate(indices) else stmt.else_body
+            self._exec_block(branch, env, indices)
+            return
+        raise InterpreterError(f"unknown statement {stmt!r}")
+
+    # -- expression evaluation -------------------------------------------------
+
+    def _eval(self, expr: CExpr, env: Dict[str, Value],
+              indices: Dict[str, int]) -> Value:
+        if isinstance(expr, FloatConst):
+            return float(expr.value)
+        if isinstance(expr, (ScalarVar, VecVar)):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise InterpreterError(f"use of undefined register "
+                                       f"{expr.name!r}")
+        if isinstance(expr, Load):
+            buf = self._buffer_array(expr.buffer)
+            idx = expr.index.evaluate(indices)
+            self._check_index(expr.buffer, idx, 1)
+            return float(buf[idx])
+        if isinstance(expr, VLoad):
+            buf = self._buffer_array(expr.buffer)
+            idx = expr.index.evaluate(indices)
+            out = np.zeros(expr.width, dtype=np.float64)
+            mask = expr.mask if expr.mask is not None else (True,) * expr.width
+            for lane, keep in enumerate(mask):
+                if keep:
+                    self._check_index(expr.buffer, idx + lane, 1)
+                    out[lane] = buf[idx + lane]
+            return out
+        if isinstance(expr, VBroadcast):
+            value = self._as_scalar(self._eval(expr.value, env, indices))
+            return np.full(expr.width, value, dtype=np.float64)
+        if isinstance(expr, VSet):
+            return np.array([self._as_scalar(self._eval(e, env, indices))
+                             for e in expr.elements], dtype=np.float64)
+        if isinstance(expr, VZero):
+            return np.zeros(expr.width, dtype=np.float64)
+        if isinstance(expr, BinOp):
+            left = self._as_scalar(self._eval(expr.left, env, indices))
+            right = self._as_scalar(self._eval(expr.right, env, indices))
+            return self._scalar_op(expr.op, left, right)
+        if isinstance(expr, UnOp):
+            value = self._as_scalar(self._eval(expr.operand, env, indices))
+            if expr.op == "neg":
+                return -value
+            if expr.op == "sqrt":
+                if value < 0:
+                    raise InterpreterError(
+                        f"sqrt of negative value {value} (input is probably "
+                        f"not positive definite)")
+                return math.sqrt(value)
+            raise InterpreterError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, VBinOp):
+            left = self._as_vector(self._eval(expr.left, env, indices),
+                                   expr.width)
+            right = self._as_vector(self._eval(expr.right, env, indices),
+                                    expr.width)
+            return self._vector_op(expr.op, left, right)
+        if isinstance(expr, VFma):
+            a = self._as_vector(self._eval(expr.a, env, indices), expr.width)
+            b = self._as_vector(self._eval(expr.b, env, indices), expr.width)
+            c = self._as_vector(self._eval(expr.c, env, indices), expr.width)
+            return a * b + c
+        if isinstance(expr, VReduceAdd):
+            vec = self._eval(expr.vec, env, indices)
+            return float(np.sum(self._as_vector(vec, len(np.atleast_1d(vec)))))
+        if isinstance(expr, VExtract):
+            vec = self._as_vector(self._eval(expr.vec, env, indices), None)
+            return float(vec[expr.lane])
+        if isinstance(expr, VBlend):
+            a = self._as_vector(self._eval(expr.a, env, indices), expr.width)
+            b = self._as_vector(self._eval(expr.b, env, indices), expr.width)
+            out = a.copy()
+            for lane in range(expr.width):
+                if expr.imm >> lane & 1:
+                    out[lane] = b[lane]
+            return out
+        if isinstance(expr, VShufflePd):
+            a = self._as_vector(self._eval(expr.a, env, indices), 4)
+            b = self._as_vector(self._eval(expr.b, env, indices), 4)
+            imm = expr.imm
+            return np.array([a[imm & 1], b[(imm >> 1) & 1],
+                             a[2 + ((imm >> 2) & 1)], b[2 + ((imm >> 3) & 1)]],
+                            dtype=np.float64)
+        if isinstance(expr, VPermute2f128):
+            a = self._as_vector(self._eval(expr.a, env, indices), 4)
+            b = self._as_vector(self._eval(expr.b, env, indices), 4)
+            out = np.zeros(4, dtype=np.float64)
+            for half in range(2):
+                control = (expr.imm >> (4 * half)) & 0xF
+                if control & 0x8:
+                    out[2 * half:2 * half + 2] = 0.0
+                else:
+                    source = (a, a, b, b)[control & 3]
+                    offset = 0 if (control & 1) == 0 else 2
+                    out[2 * half:2 * half + 2] = source[offset:offset + 2]
+            return out
+        if isinstance(expr, VUnpack):
+            a = self._as_vector(self._eval(expr.a, env, indices), 4)
+            b = self._as_vector(self._eval(expr.b, env, indices), 4)
+            if expr.high:
+                return np.array([a[1], b[1], a[3], b[3]], dtype=np.float64)
+            return np.array([a[0], b[0], a[2], b[2]], dtype=np.float64)
+        raise InterpreterError(f"unknown expression {expr!r}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _buffer_array(self, buffer: Buffer) -> np.ndarray:
+        try:
+            return self._storage[buffer.name]
+        except KeyError:
+            raise InterpreterError(f"unknown buffer {buffer.name!r}")
+
+    def _check_index(self, buffer: Buffer, index: int, count: int) -> None:
+        if index < 0 or index + count > buffer.size:
+            raise InterpreterError(
+                f"out-of-bounds access to {buffer.name!r}: index {index} "
+                f"(+{count}) of {buffer.size}")
+
+    @staticmethod
+    def _scalar_op(op: str, left: float, right: float) -> float:
+        if op == "add":
+            return left + right
+        if op == "sub":
+            return left - right
+        if op == "mul":
+            return left * right
+        if op == "div":
+            if right == 0.0:
+                raise InterpreterError("scalar division by zero")
+            return left / right
+        if op == "max":
+            return max(left, right)
+        if op == "min":
+            return min(left, right)
+        raise InterpreterError(f"unknown scalar op {op!r}")
+
+    @staticmethod
+    def _vector_op(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if op == "add":
+            return left + right
+        if op == "sub":
+            return left - right
+        if op == "mul":
+            return left * right
+        if op == "div":
+            if np.any(right == 0.0):
+                raise InterpreterError("vector division by zero")
+            return left / right
+        if op == "max":
+            return np.maximum(left, right)
+        if op == "min":
+            return np.minimum(left, right)
+        raise InterpreterError(f"unknown vector op {op!r}")
+
+    @staticmethod
+    def _as_scalar(value: Value) -> float:
+        if isinstance(value, np.ndarray):
+            if value.size != 1:
+                raise InterpreterError(
+                    f"expected a scalar value, got a vector of {value.size}")
+            return float(value[0])
+        return float(value)
+
+    @staticmethod
+    def _as_vector(value: Value, width: Optional[int]) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            if width is not None and value.size != width:
+                raise InterpreterError(
+                    f"expected a vector of width {width}, got {value.size}")
+            return value
+        if width is None:
+            width = 1
+        return np.full(width, float(value), dtype=np.float64)
+
+
+def run_function(function: Function,
+                 inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Convenience wrapper: interpret ``function`` on ``inputs``."""
+    return Interpreter(function).run(inputs)

@@ -1,0 +1,77 @@
+"""Dead code elimination: remove register assignments whose value is never used.
+
+Stores to buffers are always considered live (buffers can be function
+outputs or carry values across loop iterations).  The pass iterates to a
+fixpoint so that chains of dead assignments disappear entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..nodes import (Assign, CStmt, For, If, ScalarVar, VecVar,
+                     walk_expressions)
+
+
+def _collect_used_registers(stmts: List[CStmt], used: Set[str]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, For):
+            _collect_used_registers(stmt.body, used)
+            continue
+        if isinstance(stmt, If):
+            _collect_used_registers(stmt.then_body, used)
+            _collect_used_registers(stmt.else_body, used)
+            continue
+        for expr in walk_expressions(stmt):
+            if isinstance(expr, (ScalarVar, VecVar)):
+                used.add(expr.name)
+
+
+def _remove_dead(stmts: List[CStmt], used: Set[str]) -> List[CStmt]:
+    result: List[CStmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, Assign) and stmt.dest.name not in used:
+            continue
+        if isinstance(stmt, For):
+            result.append(For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                              _remove_dead(stmt.body, used)))
+            continue
+        if isinstance(stmt, If):
+            result.append(If(stmt.lhs, stmt.op, stmt.rhs,
+                             _remove_dead(stmt.then_body, used),
+                             _remove_dead(stmt.else_body, used)))
+            continue
+        result.append(stmt)
+    return result
+
+
+def _count_statements(stmts: List[CStmt]) -> int:
+    total = 0
+    for stmt in stmts:
+        total += 1
+        if isinstance(stmt, For):
+            total += _count_statements(stmt.body)
+        elif isinstance(stmt, If):
+            total += _count_statements(stmt.then_body)
+            total += _count_statements(stmt.else_body)
+    return total
+
+
+def eliminate_dead_code(stmts: List[CStmt], max_iterations: int = 10) -> List[CStmt]:
+    """Remove assignments to registers that are never read (to a fixpoint).
+
+    Note: register reads *inside* the assignment being considered do not keep
+    it alive; liveness is computed from all other statements.  Because the
+    builder generates fresh names, self-referential accumulator updates inside
+    loops still count as uses via the following iteration's read, which this
+    conservative whole-function analysis keeps alive.
+    """
+    current = stmts
+    for _ in range(max_iterations):
+        used: Set[str] = set()
+        _collect_used_registers(current, used)
+        new = _remove_dead(current, used)
+        if _count_statements(new) == _count_statements(current):
+            return new
+        current = new
+    return current

@@ -1,0 +1,56 @@
+"""Loop unrolling pass.
+
+SLinGen unrolls the innermost loops produced by the sBLAC tiling (paper
+Sec. 3.3, "code-level optimizations ... such as loop unrolling and scalar
+replacement").  Unrolling is what exposes the straight-line store/load
+sequences that the Stage-3 load/store analysis turns into register
+shuffles/blends.
+
+The pass replaces any ``For`` whose trip count does not exceed a threshold
+by its unrolled body, substituting the induction variable with its constant
+value in every affine index.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..nodes import CStmt, For, If
+from ..transform import transform_block
+
+
+def unroll_loops(stmts: List[CStmt], max_trip_count: int = 8,
+                 max_body_statements: int = 64) -> List[CStmt]:
+    """Unroll loops with small, known trip counts.
+
+    Parameters
+    ----------
+    max_trip_count:
+        Loops with more iterations than this are kept.
+    max_body_statements:
+        Safety valve: loops whose unrolled size would exceed this many
+        statements are kept even if the trip count is small.
+    """
+    result: List[CStmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, For):
+            body = unroll_loops(stmt.body, max_trip_count,
+                                max_body_statements)
+            trip = stmt.trip_count
+            if (trip <= max_trip_count
+                    and trip * len(body) <= max_body_statements):
+                for value in stmt.iterations():
+                    result.extend(transform_block(body,
+                                                  index_subst={stmt.var: value}))
+            else:
+                result.append(For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                                  body))
+        elif isinstance(stmt, If):
+            result.append(If(stmt.lhs, stmt.op, stmt.rhs,
+                             unroll_loops(stmt.then_body, max_trip_count,
+                                          max_body_statements),
+                             unroll_loops(stmt.else_body, max_trip_count,
+                                          max_body_statements)))
+        else:
+            result.append(stmt)
+    return result

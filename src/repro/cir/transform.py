@@ -1,0 +1,124 @@
+"""Generic bottom-up transformation utilities for C-IR trees.
+
+Passes are expressed as functions over expressions/statements; this module
+provides the structural recursion so each pass only has to deal with the
+node kinds it cares about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from .nodes import (Affine, Assign, BinOp, CExpr, Comment, CStmt, FloatConst,
+                    For, If, Load, ScalarVar, Store, UnOp, VBinOp, VBlend,
+                    VBroadcast, VecVar, VExtract, VFma, VLoad, VPermute2f128,
+                    VReduceAdd, VSet, VShufflePd, VStore, VUnpack, VZero)
+
+ExprFn = Callable[[CExpr], CExpr]
+
+
+def map_expression(expr: CExpr, fn: ExprFn) -> CExpr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    returns the (possibly new) node.
+    """
+    if isinstance(expr, (FloatConst, ScalarVar, VecVar, Load, VLoad, VZero)):
+        return fn(expr)
+    if isinstance(expr, VBroadcast):
+        return fn(dataclasses.replace(expr, value=map_expression(expr.value, fn)))
+    if isinstance(expr, VSet):
+        return fn(dataclasses.replace(
+            expr, elements=tuple(map_expression(e, fn) for e in expr.elements)))
+    if isinstance(expr, BinOp):
+        return fn(dataclasses.replace(expr,
+                                      left=map_expression(expr.left, fn),
+                                      right=map_expression(expr.right, fn)))
+    if isinstance(expr, UnOp):
+        return fn(dataclasses.replace(expr,
+                                      operand=map_expression(expr.operand, fn)))
+    if isinstance(expr, VBinOp):
+        return fn(dataclasses.replace(expr,
+                                      left=map_expression(expr.left, fn),
+                                      right=map_expression(expr.right, fn)))
+    if isinstance(expr, VFma):
+        return fn(dataclasses.replace(expr,
+                                      a=map_expression(expr.a, fn),
+                                      b=map_expression(expr.b, fn),
+                                      c=map_expression(expr.c, fn)))
+    if isinstance(expr, VReduceAdd):
+        return fn(dataclasses.replace(expr, vec=map_expression(expr.vec, fn)))
+    if isinstance(expr, VExtract):
+        return fn(dataclasses.replace(expr, vec=map_expression(expr.vec, fn)))
+    if isinstance(expr, (VBlend, VShufflePd, VPermute2f128, VUnpack)):
+        return fn(dataclasses.replace(expr,
+                                      a=map_expression(expr.a, fn),
+                                      b=map_expression(expr.b, fn)))
+    return fn(expr)
+
+
+def map_statement_expressions(stmt: CStmt, fn: ExprFn) -> CStmt:
+    """Apply ``fn`` (via :func:`map_expression`) to the value expressions of a
+    single statement, returning a new statement.  Does not recurse into the
+    bodies of ``For``/``If``."""
+    if isinstance(stmt, Assign):
+        return Assign(stmt.dest, map_expression(stmt.value, fn))
+    if isinstance(stmt, Store):
+        return Store(stmt.buffer, stmt.index, map_expression(stmt.value, fn))
+    if isinstance(stmt, VStore):
+        return VStore(stmt.buffer, stmt.index, map_expression(stmt.value, fn),
+                      stmt.width, stmt.mask)
+    return stmt
+
+
+def transform_block(stmts: List[CStmt], expr_fn: Optional[ExprFn] = None,
+                    index_subst: Optional[Dict[str, int]] = None) -> List[CStmt]:
+    """Deep-copy a statement list applying an expression transform and/or an
+    index-variable substitution.
+
+    ``index_subst`` replaces index variables with constants in every affine
+    index (loop unrolling uses this).
+    """
+    def fix_affine(affine: Affine) -> Affine:
+        if not index_subst:
+            return affine
+        return affine.substitute(index_subst)
+
+    def fix_expr(expr: CExpr) -> CExpr:
+        if index_subst and isinstance(expr, Load):
+            expr = dataclasses.replace(expr, index=fix_affine(expr.index))
+        if index_subst and isinstance(expr, VLoad):
+            expr = dataclasses.replace(expr, index=fix_affine(expr.index))
+        if expr_fn is not None:
+            expr = expr_fn(expr)
+        return expr
+
+    result: List[CStmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, For):
+            result.append(For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                              transform_block(stmt.body, expr_fn, index_subst)))
+        elif isinstance(stmt, If):
+            result.append(If(fix_affine(stmt.lhs), stmt.op, fix_affine(stmt.rhs),
+                             transform_block(stmt.then_body, expr_fn,
+                                             index_subst),
+                             transform_block(stmt.else_body, expr_fn,
+                                             index_subst)))
+        elif isinstance(stmt, Store):
+            new = Store(stmt.buffer, fix_affine(stmt.index),
+                        map_expression(stmt.value, fix_expr))
+            result.append(new)
+        elif isinstance(stmt, VStore):
+            new = VStore(stmt.buffer, fix_affine(stmt.index),
+                         map_expression(stmt.value, fix_expr), stmt.width,
+                         stmt.mask)
+            result.append(new)
+        elif isinstance(stmt, Assign):
+            result.append(Assign(stmt.dest,
+                                 map_expression(stmt.value, fix_expr)))
+        elif isinstance(stmt, Comment):
+            result.append(Comment(stmt.text))
+        else:
+            result.append(stmt)
+    return result

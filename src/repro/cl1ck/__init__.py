@@ -1,0 +1,10 @@
+"""Cl1ck-style HLAC synthesis: operation recognition, algorithms, database."""
+
+from .algorithms import Synthesizer
+from .database import AlgorithmDatabase, DatabaseEntry
+from .operations import OperationInstance, collect_hlacs, recognize
+
+__all__ = [
+    "Synthesizer", "AlgorithmDatabase", "DatabaseEntry",
+    "OperationInstance", "collect_hlacs", "recognize",
+]

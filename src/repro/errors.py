@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro (SLinGen reproduction) package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch a single exception type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class LAError(ReproError):
+    """Errors related to the LA input language."""
+
+
+class LASyntaxError(LAError):
+    """Raised by the lexer/parser on malformed LA source.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending token (0 when unknown).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class LASemanticError(LAError):
+    """Raised by semantic analysis on a well-formed but invalid program."""
+
+
+class DimensionError(ReproError):
+    """Raised when operand dimensions are incompatible in an expression."""
+
+
+class StructureError(ReproError):
+    """Raised when matrix structure annotations are inconsistent."""
+
+
+class SynthesisError(ReproError):
+    """Raised when Cl1ck-style algorithm synthesis fails for an HLAC."""
+
+
+class UnsupportedHLACError(SynthesisError):
+    """Raised when an HLAC does not match any known operation pattern."""
+
+
+class LoweringError(ReproError):
+    """Raised when an sBLAC cannot be lowered to C-IR."""
+
+
+class CIRError(ReproError):
+    """Raised on malformed C-IR or failed C-IR passes."""
+
+
+class InterpreterError(ReproError):
+    """Raised when the C-IR interpreter encounters an invalid program."""
+
+
+class BackendError(ReproError):
+    """Raised by the C backends (unparsing or compilation failures)."""
+
+
+class MachineModelError(ReproError):
+    """Raised by the machine/performance model."""
+
+
+class AutotuningError(ReproError):
+    """Raised when autotuning cannot find any working candidate."""

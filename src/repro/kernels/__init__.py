@@ -1,0 +1,16 @@
+"""Reference numpy/scipy kernels and cost formulas."""
+
+from .reference import (cost_gpr, cost_kf, cost_l1a, cost_potrf, cost_trlya,
+                        cost_trsm, cost_trsyl, cost_trtri,
+                        gaussian_process_regression, kalman_filter_step,
+                        l1_analysis_step, potrf_lower, potrf_upper,
+                        random_lower_triangular, random_spd,
+                        random_upper_triangular, trlya, trsm, trsyl, trtri)
+
+__all__ = [
+    "cost_gpr", "cost_kf", "cost_l1a", "cost_potrf", "cost_trlya",
+    "cost_trsm", "cost_trsyl", "cost_trtri",
+    "gaussian_process_regression", "kalman_filter_step", "l1_analysis_step",
+    "potrf_lower", "potrf_upper", "random_lower_triangular", "random_spd",
+    "random_upper_triangular", "trlya", "trsm", "trsyl", "trtri",
+]

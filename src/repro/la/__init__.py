@@ -1,0 +1,6 @@
+"""LA language frontend: tokenizer and parser (paper Fig. 4)."""
+
+from .lexer import Token, tokenize
+from .parser import Parser, parse_program
+
+__all__ = ["Token", "tokenize", "Parser", "parse_program"]

@@ -1,0 +1,86 @@
+"""Tokenizer for the LA input language (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import LASyntaxError
+
+KEYWORDS = {"Mat", "Vec", "Sca", "In", "Out", "InOut", "for", "ow",
+            "trans", "inv", "sqrt",
+            "LoTri", "UpTri", "UpSym", "LoSym", "PD", "NS", "UnitDiag"}
+
+SYMBOLS = ("<=", ">=", "==", "(", ")", "{", "}", "<", ">", ",", ";", "=",
+           "+", "-", "*", "/", "'", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str          # 'id', 'int', 'float', 'keyword', or the symbol itself
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize LA source text; raises :class:`LASyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (source[index].isdigit()
+                                      or source[index] == "."):
+                index += 1
+            text = source[start:index]
+            kind = "float" if "." in text else "int"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        matched = None
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                matched = symbol
+                break
+        if matched is None:
+            raise LASyntaxError(f"unexpected character {char!r}", line, column)
+        tokens.append(Token(matched, matched, line, column))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,247 @@
+"""Recursive-descent parser for the LA language (paper Fig. 4).
+
+The parser builds a :class:`~repro.ir.program.Program` directly, performing
+semantic checks (declared operands, dimension compatibility, output
+annotations) as it goes.  Operand sizes may be integer literals or names
+bound through the ``constants`` argument, which is how the paper's programs
+are parameterized by ``n`` and ``k``.
+
+Syntax summary (MATLAB-flavoured, as in Fig. 5 of the paper)::
+
+    Mat H(k, n) <In>;
+    Mat S(k, k) <Out, UpSym, PD>;
+    Mat U(k, k) <Out, UpTri, NS, ow(S)>;
+    Vec x(n) <InOut>;
+    Sca alpha <In>;
+
+    S = H * P * H' + R;          # sBLAC (transpose is ' or trans(.))
+    U' * U = S;                  # HLAC: equation form
+    X = inv(L);                  # HLAC: triangular inverse
+    for (i = 0:4) { ... }        # fixed-trip-count loop (unrolled)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import LASemanticError, LASyntaxError
+from ..ir.expr import (Const, Div, Expr, Inverse, Mul, Neg, Ref, Sqrt, Sub,
+                       Transpose, Add)
+from ..ir.operands import IOType, Operand, View
+from ..ir.program import Assign, Equation, ForLoop, Program, Statement
+from ..ir.properties import Properties
+from .lexer import Token, tokenize
+
+
+class Parser:
+    """Parses LA source text into a Program."""
+
+    def __init__(self, source: str, constants: Optional[Dict[str, int]] = None,
+                 name: str = "la_program"):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.constants = dict(constants or {})
+        self.program = Program(name, constants=dict(self.constants))
+
+    # -- token helpers ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise LASyntaxError(f"expected {expected!r}, got {token.text!r}",
+                                token.line, token.column)
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- entry point ---------------------------------------------------------------
+
+    def parse(self) -> Program:
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "keyword" and token.text in ("Mat", "Vec", "Sca"):
+                self._parse_declaration()
+            else:
+                self.program.statements.append(self._parse_statement())
+        self.program.validate()
+        return self.program
+
+    # -- declarations ----------------------------------------------------------------
+
+    def _parse_size(self) -> int:
+        token = self._advance()
+        if token.kind == "int":
+            return int(token.text)
+        if token.kind == "id":
+            if token.text not in self.constants:
+                raise LASemanticError(
+                    f"size constant {token.text!r} is not bound (pass it via "
+                    f"the constants argument)")
+            return int(self.constants[token.text])
+        raise LASyntaxError(f"expected a size, got {token.text!r}", token.line,
+                            token.column)
+
+    def _parse_declaration(self) -> None:
+        kind = self._advance().text
+        name = self._expect("id").text
+        rows = cols = 1
+        if kind in ("Mat", "Vec"):
+            self._expect("(")
+            rows = self._parse_size()
+            if kind == "Mat":
+                self._expect(",")
+                cols = self._parse_size()
+            else:
+                if self._accept(","):
+                    cols = self._parse_size()
+                    if cols != 1:
+                        raise LASemanticError(
+                            f"vector {name!r} must have a single column")
+            self._expect(")")
+        self._expect("<")
+        io_token = self._expect("keyword")
+        try:
+            io = IOType(io_token.text)
+        except ValueError:
+            raise LASyntaxError(f"expected In/Out/InOut, got {io_token.text!r}",
+                                io_token.line, io_token.column)
+        annotations: List[str] = []
+        overwrites: Optional[str] = None
+        while self._accept(","):
+            token = self._peek()
+            if token.kind == "keyword" and token.text == "ow":
+                self._advance()
+                self._expect("(")
+                overwrites = self._expect("id").text
+                self._expect(")")
+            elif token.kind == "keyword":
+                annotations.append(self._advance().text)
+            else:
+                raise LASyntaxError(f"unexpected token {token.text!r} in "
+                                    f"declaration", token.line, token.column)
+        self._expect(">")
+        self._expect(";")
+        try:
+            properties = Properties.from_annotations(annotations)
+        except ValueError as error:
+            raise LASemanticError(str(error))
+        operand = Operand(name, rows, cols, io, properties,
+                          overwrites=overwrites)
+        self.program.declare(operand)
+
+    # -- statements ------------------------------------------------------------------
+
+    def _parse_statement(self) -> Statement:
+        if self._peek().kind == "keyword" and self._peek().text == "for":
+            return self._parse_for()
+        lhs = self._parse_expression()
+        self._expect("=")
+        rhs = self._parse_expression()
+        self._expect(";")
+        if isinstance(lhs, Ref) and lhs.view.is_full:
+            if not lhs.view.operand.is_output:
+                raise LASemanticError(
+                    f"cannot assign to input operand "
+                    f"{lhs.view.operand.name!r}")
+            return Assign(lhs.view, rhs)
+        return Equation(lhs, rhs)
+
+    def _parse_for(self) -> ForLoop:
+        self._expect("keyword", "for")
+        self._expect("(")
+        var = self._expect("id").text
+        self._expect("=")
+        start = int(self._expect("int").text)
+        self._expect(":")
+        stop = int(self._expect("int").text)
+        step = 1
+        if self._accept(":"):
+            step = stop
+            stop = int(self._expect("int").text)
+        self._expect(")")
+        self._expect("{")
+        body: List[Statement] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return ForLoop(var, start, stop, step, body)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        expr = self._parse_term()
+        while True:
+            if self._accept("+"):
+                expr = Add(expr, self._parse_term())
+            elif self._accept("-"):
+                expr = Sub(expr, self._parse_term())
+            else:
+                return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_factor()
+        while True:
+            if self._accept("*"):
+                expr = Mul(expr, self._parse_factor())
+            elif self._accept("/"):
+                expr = Div(expr, self._parse_factor())
+            else:
+                return expr
+
+    def _parse_factor(self) -> Expr:
+        if self._accept("-"):
+            return Neg(self._parse_factor())
+        expr = self._parse_primary()
+        while self._accept("'"):
+            expr = Transpose(expr)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind in ("int", "float"):
+            self._advance()
+            return Const(float(token.text))
+        if token.kind == "keyword" and token.text in ("trans", "inv", "sqrt"):
+            self._advance()
+            self._expect("(")
+            inner = self._parse_expression()
+            self._expect(")")
+            if token.text == "trans":
+                return Transpose(inner)
+            if token.text == "inv":
+                return Inverse(inner)
+            return Sqrt(inner)
+        if token.kind == "(":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(")")
+            return inner
+        if token.kind == "id":
+            self._advance()
+            if token.text in self.constants:
+                return Const(float(self.constants[token.text]))
+            if token.text not in self.program.operands:
+                raise LASemanticError(
+                    f"use of undeclared operand {token.text!r} at line "
+                    f"{token.line}")
+            return Ref(self.program.operands[token.text].full_view())
+        raise LASyntaxError(f"unexpected token {token.text!r}", token.line,
+                            token.column)
+
+
+def parse_program(source: str, constants: Optional[Dict[str, int]] = None,
+                  name: str = "la_program") -> Program:
+    """Parse LA source text into a validated :class:`Program`."""
+    return Parser(source, constants, name).parse()

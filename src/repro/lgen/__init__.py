@@ -1,0 +1,18 @@
+"""LGen-style sBLAC compiler: normalization, nu-BLACs, tiling, lowering."""
+
+from .compiler import CompileStats, lower_program, lower_program_with_stats
+from .lowering import Lowerer, LoweringOptions
+from .normalize import (CanonicalOp, MatMulOp, Normalizer, ScalarAssignOp,
+                        ScalarCoeff, ScaleCopyOp, TempAllocator,
+                        push_down_transposes)
+from .nu_blacs import NU_BLACS, NuBlac, find_nu_blac
+from .tiling import CodegenVariant, candidate_variants
+
+__all__ = [
+    "CompileStats", "lower_program", "lower_program_with_stats",
+    "Lowerer", "LoweringOptions",
+    "CanonicalOp", "MatMulOp", "Normalizer", "ScalarAssignOp", "ScalarCoeff",
+    "ScaleCopyOp", "TempAllocator", "push_down_transposes",
+    "NU_BLACS", "NuBlac", "find_nu_blac",
+    "CodegenVariant", "candidate_variants",
+]

@@ -1,0 +1,60 @@
+"""Tiling/code-generation decisions explored by the autotuner.
+
+LGen explores different tiling decisions for each sBLAC (paper Fig. 2,
+"performance evaluation and search").  In this reproduction the searchable
+code-generation knobs are collected in :class:`CodegenVariant`: the vector
+width (scalar vs. AVX), the unrolling thresholds applied by the Stage-3
+passes, whether the shuffle-based transpose codelet is used, and whether the
+load/store analysis runs.  :func:`candidate_variants` enumerates the space
+searched by the autotuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class CodegenVariant:
+    """One point of the code-generation search space."""
+
+    vector_width: int = 4
+    unroll_trip_count: int = 8
+    unroll_body_limit: int = 64
+    use_shuffle_transpose: bool = True
+    load_store_analysis: bool = True
+
+    @property
+    def label(self) -> str:
+        kind = "avx" if self.vector_width > 1 else "scalar"
+        return (f"{kind}-u{self.unroll_trip_count}"
+                f"{'-lsa' if self.load_store_analysis else ''}"
+                f"{'' if self.use_shuffle_transpose else '-noshuf'}")
+
+
+def candidate_variants(vectorize: bool = True,
+                       search_unrolling: bool = True) -> List[CodegenVariant]:
+    """Enumerate code-generation variants for the autotuner.
+
+    The default space is intentionally small (a handful of points): the
+    dominant performance decisions at this scale are vectorization and
+    unrolling, and each candidate requires generating and evaluating a full
+    kernel.
+    """
+    base = CodegenVariant(vector_width=4 if vectorize else 1)
+    variants = [base]
+    if search_unrolling:
+        variants.append(replace(base, unroll_trip_count=4,
+                                unroll_body_limit=32))
+        variants.append(replace(base, unroll_trip_count=16,
+                                unroll_body_limit=128))
+    if vectorize:
+        variants.append(replace(base, use_shuffle_transpose=False))
+    seen = set()
+    unique: List[CodegenVariant] = []
+    for variant in variants:
+        if variant not in seen:
+            unique.append(variant)
+            seen.add(variant)
+    return unique

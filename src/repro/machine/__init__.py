@@ -1,0 +1,13 @@
+"""Machine model: microarchitecture descriptions, instruction mixes, ERM-style
+generalized roofline analysis."""
+
+from .microarch import (EMBEDDED_SSE, HASWELL, SANDY_BRIDGE,
+                        MicroArchitecture, default_machine)
+from .mix import InstructionMix, instruction_mix
+from .roofline import PerformanceEstimate, analyze_function, analyze_mix
+
+__all__ = [
+    "EMBEDDED_SSE", "HASWELL", "SANDY_BRIDGE", "MicroArchitecture",
+    "default_machine", "InstructionMix", "instruction_mix",
+    "PerformanceEstimate", "analyze_function", "analyze_mix",
+]

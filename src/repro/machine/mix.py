@@ -1,0 +1,203 @@
+"""Static instruction-mix extraction from C-IR.
+
+Because every loop in generated C-IR has constant bounds, the exact dynamic
+instruction counts can be computed statically by weighting each statement
+with the product of the trip counts of its enclosing loops.  The resulting
+:class:`InstructionMix` is the input of the ERM-style roofline analysis and
+is also used directly by tests (e.g. "the load/store analysis removes N
+loads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List
+
+from ..cir.nodes import (Assign, BinOp, CExpr, Comment, CStmt, For, Function,
+                         If, Load, Store, UnOp, VBinOp, VBlend, VBroadcast,
+                         VExtract, VFma, VLoad, VPermute2f128, VReduceAdd,
+                         VSet, VShufflePd, VStore, VUnpack, VZero,
+                         walk_expressions)
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction counts of one generated kernel."""
+
+    # floating-point arithmetic (instruction counts, not flops)
+    vector_add: float = 0.0
+    vector_mul: float = 0.0
+    vector_fma: float = 0.0
+    vector_div: float = 0.0
+    scalar_add: float = 0.0
+    scalar_mul: float = 0.0
+    scalar_div: float = 0.0
+    scalar_sqrt: float = 0.0
+    # memory
+    vector_loads: float = 0.0
+    vector_stores: float = 0.0
+    scalar_loads: float = 0.0
+    scalar_stores: float = 0.0
+    # data rearrangement
+    shuffles: float = 0.0
+    blends: float = 0.0
+    broadcasts: float = 0.0
+    extracts: float = 0.0
+    reductions: float = 0.0
+
+    vector_width: int = 4
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def flops(self) -> float:
+        """Double-precision floating-point operations actually executed."""
+        w = self.vector_width
+        return (w * (self.vector_add + self.vector_mul + self.vector_div)
+                + 2 * w * self.vector_fma
+                + self.scalar_add + self.scalar_mul + self.scalar_div
+                + self.scalar_sqrt
+                + (w - 1) * self.reductions)
+
+    @property
+    def mul_issues(self) -> float:
+        return self.vector_mul + self.vector_fma + self.scalar_mul
+
+    @property
+    def add_issues(self) -> float:
+        # a horizontal reduction needs ~2 additional add-type issues
+        return (self.vector_add + self.vector_fma + self.scalar_add
+                + 2 * self.reductions)
+
+    @property
+    def div_sqrt_issues(self) -> float:
+        return self.vector_div + self.scalar_div + self.scalar_sqrt
+
+    @property
+    def load_issues(self) -> float:
+        return self.vector_loads + self.scalar_loads + self.broadcasts
+
+    @property
+    def store_issues(self) -> float:
+        return self.vector_stores + self.scalar_stores
+
+    @property
+    def shuffle_issues(self) -> float:
+        # a horizontal reduction needs ~2 lane-crossing shuffles
+        return self.shuffles + self.extracts + 2 * self.reductions
+
+    @property
+    def blend_issues(self) -> float:
+        return self.blends
+
+    @property
+    def total_issues(self) -> float:
+        """All issued instructions (used for Table-4 style issue rates)."""
+        return (self.mul_issues + self.add_issues + self.div_sqrt_issues
+                + self.load_issues + self.store_issues + self.shuffle_issues
+                + self.blend_issues)
+
+    @property
+    def issues_excluding_memory(self) -> float:
+        return self.total_issues - self.load_issues - self.store_issues
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        result = InstructionMix(vector_width=self.vector_width)
+        for f in fields(self):
+            if f.name == "vector_width":
+                continue
+            setattr(result, f.name, getattr(self, f.name) * factor)
+        return result
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        result = InstructionMix(vector_width=max(self.vector_width,
+                                                 other.vector_width))
+        for f in fields(self):
+            if f.name == "vector_width":
+                continue
+            setattr(result, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return result
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "vector_width"}
+
+
+def _count_expression(expr: CExpr, mix: InstructionMix, weight: float) -> None:
+    for node in expr.walk():
+        if isinstance(node, Load):
+            mix.scalar_loads += weight
+        elif isinstance(node, VLoad):
+            mix.vector_loads += weight
+        elif isinstance(node, VBroadcast):
+            mix.broadcasts += weight
+        elif isinstance(node, BinOp):
+            if node.op in ("add", "sub", "max", "min"):
+                mix.scalar_add += weight
+            elif node.op == "mul":
+                mix.scalar_mul += weight
+            elif node.op == "div":
+                mix.scalar_div += weight
+        elif isinstance(node, UnOp):
+            if node.op == "sqrt":
+                mix.scalar_sqrt += weight
+            else:
+                mix.scalar_add += weight
+        elif isinstance(node, VBinOp):
+            if node.op in ("add", "sub", "max", "min"):
+                mix.vector_add += weight
+            elif node.op == "mul":
+                mix.vector_mul += weight
+            elif node.op == "div":
+                mix.vector_div += weight
+        elif isinstance(node, VFma):
+            mix.vector_fma += weight
+        elif isinstance(node, VReduceAdd):
+            mix.reductions += weight
+        elif isinstance(node, VExtract):
+            mix.extracts += weight
+        elif isinstance(node, VBlend):
+            mix.blends += weight
+        elif isinstance(node, (VShufflePd, VPermute2f128, VUnpack)):
+            mix.shuffles += weight
+        elif isinstance(node, (VSet, VZero)):
+            # vzeroall / set sequences: negligible, but VSet of k scalars
+            # costs about k-1 lane insertions (counted as shuffles).
+            if isinstance(node, VSet):
+                mix.shuffles += weight * max(0, len(node.elements) - 1)
+
+
+def _count_statements(stmts: Iterable[CStmt], mix: InstructionMix,
+                      weight: float) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Comment):
+            continue
+        if isinstance(stmt, For):
+            _count_statements(stmt.body, mix, weight * stmt.trip_count)
+            continue
+        if isinstance(stmt, If):
+            # Both branches weighted by half: conditions in generated code
+            # are leftovers guards that alternate.
+            _count_statements(stmt.then_body, mix, weight * 0.5)
+            _count_statements(stmt.else_body, mix, weight * 0.5)
+            continue
+        for expr in walk_expressions(stmt):
+            pass  # expressions handled below (walk once, weighted)
+        if isinstance(stmt, Assign):
+            _count_expression(stmt.value, mix, weight)
+        elif isinstance(stmt, Store):
+            _count_expression(stmt.value, mix, weight)
+            mix.scalar_stores += weight
+        elif isinstance(stmt, VStore):
+            _count_expression(stmt.value, mix, weight)
+            mix.vector_stores += weight
+
+
+def instruction_mix(function: Function) -> InstructionMix:
+    """Compute the exact dynamic instruction mix of a C-IR function."""
+    mix = InstructionMix(vector_width=max(function.vector_width, 1))
+    _count_statements(function.body, mix, 1.0)
+    return mix

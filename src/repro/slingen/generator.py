@@ -1,0 +1,231 @@
+"""The SLinGen program generator (paper Sec. 3, Fig. 6).
+
+``SLinGen.generate(program)`` runs the full pipeline:
+
+1. **Stage 1** -- every HLAC is expanded into a loop-based algorithm over
+   sBLACs/scalar ops (Cl1ck-style synthesis, algorithm database, variants).
+2. **Stage 2** -- rewrite rules R0/R1, statement normalization and tiling
+   into nu-BLAC-style vector code, producing C-IR.
+3. **Stage 3** -- code-level optimizations (unrolling, scalar replacement,
+   the load/store analysis, DCE) and autotuning over algorithmic and
+   code-generation variants using the machine model as the timing oracle.
+
+The result bundles the chosen C-IR kernel, the emitted single-source C code,
+the performance estimate, and enough metadata to reproduce the choice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..backend.c_unparser import unparse_function
+from ..cir.nodes import Function
+from ..cir.interpreter import Interpreter
+from ..cir.passes import PassOptions, PassReport, run_pipeline
+from ..cl1ck.database import AlgorithmDatabase
+from ..errors import AutotuningError
+from ..ir.program import Program
+from ..lgen.compiler import lower_program_with_stats
+from ..lgen.lowering import LoweringOptions
+from ..lgen.tiling import CodegenVariant, candidate_variants
+from ..machine.microarch import MicroArchitecture, default_machine
+from ..machine.roofline import PerformanceEstimate, analyze_function
+from .options import Options
+from .rewrite import RewriteReport, apply_rewrite_rules
+from .stage1 import (Stage1Result, enumerate_variant_choices, find_hlac_sites,
+                     synthesize_basic_program)
+
+
+@dataclass
+class Candidate:
+    """One fully generated implementation considered by the autotuner."""
+
+    label: str
+    stage1: Stage1Result
+    codegen: CodegenVariant
+    function: Function
+    estimate: PerformanceEstimate
+    pass_report: PassReport
+    rewrite_report: RewriteReport
+
+    @property
+    def cycles(self) -> float:
+        return self.estimate.cycles
+
+
+@dataclass
+class GeneratedCode:
+    """The output of one SLinGen run."""
+
+    program: Program
+    basic_program: Program
+    function: Function
+    c_code: str
+    performance: PerformanceEstimate
+    options: Options
+    variant_label: str
+    candidates: List[Dict[str, object]] = field(default_factory=list)
+    pass_report: Optional[PassReport] = None
+    rewrite_report: Optional[RewriteReport] = None
+    database_stats: Dict[str, int] = field(default_factory=dict)
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the generated kernel on numpy inputs (via the C-IR
+        interpreter)."""
+        return Interpreter(self.function).run(inputs)
+
+    def compile_and_run(self, inputs: Dict[str, np.ndarray]
+                        ) -> Dict[str, np.ndarray]:
+        """Compile the emitted C with the system compiler and execute it."""
+        from ..backend.compile import compile_kernel
+        kernel = compile_kernel(self.c_code, self.function)
+        return kernel.run(inputs)
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.performance.flops_per_cycle
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "program": self.program.name,
+            "variant": self.variant_label,
+            "cycles": self.performance.cycles,
+            "flops_per_cycle": self.performance.flops_per_cycle,
+            "bottleneck": self.performance.bottleneck,
+            "statements": self.function.statement_count(),
+            "candidates_evaluated": len(self.candidates),
+        }
+
+
+class SLinGen:
+    """Program generator for small-scale linear algebra applications."""
+
+    def __init__(self, options: Optional[Options] = None,
+                 machine: Optional[MicroArchitecture] = None):
+        self.options = options or Options()
+        self.machine = machine or default_machine()
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self, program: Program,
+                 nominal_flops: Optional[float] = None) -> GeneratedCode:
+        """Generate optimized code for an LA program."""
+        program.validate()
+        options = self.options
+        database = AlgorithmDatabase()
+        block_size = options.effective_block_size
+
+        sites = find_hlac_sites(program, block_size)
+
+        if options.autotune:
+            stage1_choices = enumerate_variant_choices(
+                sites, max_candidates=max(1, options.max_variants))
+            codegen_variants = candidate_variants(
+                vectorize=options.vectorize)[:max(1, options.max_variants)]
+        else:
+            stage1_choices = [{}]
+            codegen_variants = [CodegenVariant(
+                vector_width=options.effective_vector_width,
+                unroll_trip_count=options.unroll_trip_count,
+                unroll_body_limit=options.unroll_body_limit,
+                use_shuffle_transpose=options.use_shuffle_transpose,
+                load_store_analysis=options.load_store_analysis)]
+
+        candidates: List[Candidate] = []
+
+        # Phase 1: explore algorithmic (Stage-1) variants with the default
+        # code-generation settings.
+        default_codegen = codegen_variants[0]
+        for choice in stage1_choices:
+            candidate = self._build_candidate(program, choice, default_codegen,
+                                              database, block_size,
+                                              nominal_flops)
+            candidates.append(candidate)
+        best = min(candidates, key=lambda c: c.cycles)
+
+        # Phase 2: explore code-generation variants for the best algorithm.
+        for codegen in codegen_variants[1:]:
+            if len(candidates) >= options.max_variants:
+                break
+            candidate = self._build_candidate(program,
+                                              best.stage1.variant_choices,
+                                              codegen, database, block_size,
+                                              nominal_flops)
+            candidates.append(candidate)
+        best = min(candidates, key=lambda c: c.cycles)
+
+        if not candidates:
+            raise AutotuningError("no candidate implementation was generated")
+
+        c_code = unparse_function(best.function)
+        return GeneratedCode(
+            program=program,
+            basic_program=best.stage1.program,
+            function=best.function,
+            c_code=c_code,
+            performance=best.estimate,
+            options=options,
+            variant_label=best.label,
+            candidates=[{
+                "label": c.label,
+                "cycles": c.cycles,
+                "flops_per_cycle": c.estimate.flops_per_cycle,
+                "bottleneck": c.estimate.bottleneck,
+            } for c in candidates],
+            pass_report=best.pass_report,
+            rewrite_report=best.rewrite_report,
+            database_stats=database.stats(),
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _build_candidate(self, program: Program, variant_choices: Dict[int, str],
+                         codegen: CodegenVariant, database: AlgorithmDatabase,
+                         block_size: int,
+                         nominal_flops: Optional[float]) -> Candidate:
+        options = self.options
+
+        stage1 = synthesize_basic_program(
+            program, block_size, variant_choices, database,
+            label=f"v{len(variant_choices)}")
+
+        rewrite_report = RewriteReport()
+        if options.rewrite_rules:
+            rewrite_report = apply_rewrite_rules(stage1.program)
+
+        lowering = LoweringOptions(
+            vector_width=codegen.vector_width,
+            use_shuffle_transpose=codegen.use_shuffle_transpose)
+        function, _ = lower_program_with_stats(
+            stage1.program, lowering,
+            function_name=options.function_name or f"{program.name}_kernel",
+            annotate=options.annotate_code)
+
+        pass_options = PassOptions(
+            unroll=options.unroll,
+            max_unroll_trip_count=codegen.unroll_trip_count,
+            max_unroll_body=codegen.unroll_body_limit,
+            scalar_replacement=options.scalar_replacement,
+            load_store_analysis=(options.load_store_analysis
+                                 and codegen.load_store_analysis),
+            dead_code_elimination=True,
+            algebraic_simplification=True)
+        pass_report = run_pipeline(function, pass_options)
+
+        estimate = analyze_function(function, machine=self.machine,
+                                    nominal_flops=nominal_flops)
+        label = f"{stage1.label}|{codegen.label}"
+        return Candidate(label=label, stage1=stage1, codegen=codegen,
+                         function=function, estimate=estimate,
+                         pass_report=pass_report,
+                         rewrite_report=rewrite_report)
+
+
+def generate(program: Program, options: Optional[Options] = None,
+             nominal_flops: Optional[float] = None) -> GeneratedCode:
+    """Convenience wrapper: ``SLinGen(options).generate(program)``."""
+    return SLinGen(options).generate(program, nominal_flops=nominal_flops)

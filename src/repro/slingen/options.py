@@ -1,0 +1,64 @@
+"""User-facing configuration of the SLinGen generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Options:
+    """Configuration of a :class:`~repro.slingen.generator.SLinGen` run.
+
+    Parameters
+    ----------
+    vectorize:
+        Emit AVX-style vector code (nu = ``vector_width``); when false the
+        generated C is scalar.
+    vector_width:
+        Number of doubles per vector register (4 for AVX double precision,
+        2 for SSE2).
+    block_size:
+        Blocking factor used by Stage 1 when expanding HLACs.  ``None``
+        defaults to the vector width, as in the paper.
+    autotune:
+        Explore algorithmic variants (Stage 1) and code-generation variants
+        (Stage 2/3) and keep the fastest according to the machine model.
+    load_store_analysis / scalar_replacement / unroll:
+        Individual Stage-3 optimizations (exposed for the ablation study).
+    rewrite_rules:
+        Apply the R0/R1 scalar-packing rules of Table 2 during Stage 2.
+    max_variants:
+        Upper bound on the number of candidate implementations evaluated by
+        the autotuner.
+    """
+
+    vectorize: bool = True
+    vector_width: int = 4
+    block_size: Optional[int] = None
+    autotune: bool = True
+    load_store_analysis: bool = True
+    scalar_replacement: bool = True
+    unroll: bool = True
+    unroll_trip_count: int = 8
+    unroll_body_limit: int = 64
+    rewrite_rules: bool = True
+    use_shuffle_transpose: bool = True
+    max_variants: int = 12
+    annotate_code: bool = True
+    function_name: Optional[str] = None
+
+    @property
+    def effective_vector_width(self) -> int:
+        return self.vector_width if self.vectorize else 1
+
+    @property
+    def effective_block_size(self) -> int:
+        if self.block_size is not None:
+            return self.block_size
+        return max(self.effective_vector_width, 2)
+
+    def scalar_copy(self) -> "Options":
+        """A copy of these options with vectorization disabled."""
+        from dataclasses import replace
+        return replace(self, vectorize=False)

@@ -1,0 +1,125 @@
+"""Stage 1: synthesis of basic linear algebra programs (paper Sec. 3.1).
+
+The input LA program is transformed into one or more *basic* programs whose
+statements are only sBLACs and auxiliary scalar computations.  For every
+HLAC statement, a loop-based algorithm is synthesized (via the Cl1ck-style
+:class:`~repro.cl1ck.algorithms.Synthesizer`) and spliced in place of the
+statement.  Synthesized algorithms are cached in the algorithm database
+(Stage 1a) and reused when the same functionality/sizes reappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cl1ck.algorithms import Synthesizer
+from ..cl1ck.database import AlgorithmDatabase
+from ..cl1ck.operations import OperationInstance, recognize
+from ..ir.program import Program, Statement
+
+
+@dataclass
+class HlacSite:
+    """One HLAC occurrence in the input program."""
+
+    index: int                      # statement index in the unrolled program
+    operation: OperationInstance
+    variants: List[str]
+
+    @property
+    def kind(self) -> str:
+        return self.operation.kind
+
+
+@dataclass
+class Stage1Result:
+    """A basic program together with the choices that produced it."""
+
+    program: Program
+    variant_choices: Dict[int, str] = field(default_factory=dict)
+    sites: List[HlacSite] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        if not self.variant_choices:
+            return "no-hlacs"
+        return ",".join(f"{index}:{variant}"
+                        for index, variant in sorted(self.variant_choices.items()))
+
+
+def find_hlac_sites(program: Program, block_size: int) -> List[HlacSite]:
+    """Recognize every HLAC in the (unrolled) input program."""
+    scratch = Program(program.name + "_scratch")
+    for operand in program.operands.values():
+        scratch.operands[operand.name] = operand
+    synthesizer = Synthesizer(scratch, block_size)
+    sites: List[HlacSite] = []
+    for index, statement in enumerate(program.unrolled_statements()):
+        if statement.is_hlac():
+            operation = recognize(statement)
+            sites.append(HlacSite(index, operation,
+                                  synthesizer.variants_for(operation)))
+    return sites
+
+
+def synthesize_basic_program(program: Program, block_size: int,
+                             variant_choices: Optional[Dict[int, str]] = None,
+                             database: Optional[AlgorithmDatabase] = None,
+                             label: str = "basic") -> Stage1Result:
+    """Expand every HLAC of ``program`` and return the basic program.
+
+    ``variant_choices`` maps HLAC statement indices (in the unrolled input)
+    to variant names; unspecified sites use the default (first) variant.
+    """
+    variant_choices = dict(variant_choices or {})
+    database = database or AlgorithmDatabase()
+
+    basic = Program(f"{program.name}_{label}", constants=dict(program.constants))
+    for operand in program.operands.values():
+        basic.operands[operand.name] = operand
+
+    synthesizer = Synthesizer(basic, block_size)
+    chosen: Dict[int, str] = {}
+    sites: List[HlacSite] = []
+
+    for index, statement in enumerate(program.unrolled_statements()):
+        if not statement.is_hlac():
+            basic.statements.append(statement)
+            continue
+        operation = recognize(statement)
+        variants = synthesizer.variants_for(operation)
+        database.entry_for(operation, variants)
+        variant = variant_choices.get(index, variants[0])
+        if variant not in variants:
+            variant = variants[0]
+        chosen[index] = variant
+        sites.append(HlacSite(index, operation, variants))
+
+        cached = database.lookup(operation, variant, block_size)
+        if cached is not None:
+            expansion = cached
+        else:
+            expansion = synthesizer.expand(operation, variant)
+            database.store(operation, variant, block_size, expansion)
+        basic.statements.extend(expansion)
+
+    return Stage1Result(program=basic, variant_choices=chosen, sites=sites)
+
+
+def enumerate_variant_choices(sites: List[HlacSite],
+                              max_candidates: int) -> List[Dict[int, str]]:
+    """Enumerate variant-choice dictionaries for the autotuner.
+
+    The first candidate uses the default variant everywhere.  Further
+    candidates change one HLAC site at a time (the paper's algorithmic
+    autotuning explores Cl1ck's alternatives per HLAC); the total number of
+    candidates is capped by ``max_candidates``.
+    """
+    candidates: List[Dict[int, str]] = [{}]
+    for site in sites:
+        for variant in site.variants[1:]:
+            if len(candidates) >= max_candidates:
+                return candidates
+            candidates.append({site.index: variant})
+    return candidates

@@ -1,0 +1,187 @@
+"""Tests for the Cl1ck-style Stage 1: HLAC recognition, variants, database."""
+
+import numpy as np
+import pytest
+
+from repro.applications import make_case
+from repro.cir import run_function
+from repro.cl1ck import AlgorithmDatabase, Synthesizer, recognize
+from repro.errors import UnsupportedHLACError
+from repro.ir import (Equation, IOType, Matrix, Mul, Program, Ref, Transpose,
+                      ref)
+from repro.ir.properties import Properties
+from repro.kernels import reference as refk
+from repro.la import parse_program
+from repro.lgen import LoweringOptions, lower_program
+from repro.slingen import synthesize_basic_program, find_hlac_sites
+
+
+class TestRecognition:
+    def test_cholesky_upper(self):
+        case = make_case("potrf", 8)
+        op = recognize(case.program.statements[0])
+        assert op.kind == "cholesky_upper"
+        assert op.views["factor"].operand.name == "U"
+
+    def test_cholesky_lower_from_gpr(self):
+        case = make_case("gpr", 8)
+        op = recognize(case.program.hlacs()[0])
+        assert op.kind == "cholesky_lower"
+
+    def test_trsm_flags(self):
+        source = """
+        Mat U(8, 8) <In, UpTri, NS>;
+        Mat B(8, 3) <In>;
+        Mat X(8, 3) <Out>;
+        U' * X = B;
+        """
+        program = parse_program(source)
+        op = recognize(program.statements[0])
+        assert op.kind == "trsm"
+        assert op.flags["uplo"] == "lower"
+        assert op.flags["transposed"] is True
+
+    def test_trtri_and_sylvester_and_lyapunov(self):
+        assert recognize(make_case("trtri", 6).program.statements[0]).kind \
+            == "trtri"
+        assert recognize(make_case("trsyl", 6).program.statements[0]).kind \
+            == "trsyl"
+        assert recognize(make_case("trlya", 6).program.statements[0]).kind \
+            == "trlya"
+
+    def test_unsupported_equation_raises(self):
+        prog = Program("p")
+        A = prog.declare(Matrix("A", 4, 4, IOType.IN))
+        X = prog.declare(Matrix("X", 4, 4, IOType.OUT))
+        # A X = B with A *general* (not triangular) is not a supported HLAC.
+        B = prog.declare(Matrix("B", 4, 4, IOType.IN))
+        stmt = Equation(Mul(ref(A), ref(X)), ref(B))
+        with pytest.raises(UnsupportedHLACError):
+            recognize(stmt)
+
+    def test_signature_enables_reuse(self):
+        case = make_case("kf", 8)
+        hlacs = case.program.hlacs()
+        ops = [recognize(s) for s in hlacs]
+        trsm_sigs = {op.signature() for op in ops if op.kind == "trsm"}
+        # kf has 4 triangular solves: two vector ones and two matrix ones,
+        # each pair differing only in the transposition flag.
+        assert len(trsm_sigs) == 4
+
+
+class TestVariantsAndDatabase:
+    def test_cholesky_variant_count(self):
+        case = make_case("potrf", 8)
+        prog = case.program
+        synth = Synthesizer(Program("scratch", operands=dict(prog.operands)),
+                            block_size=4)
+        op = recognize(prog.statements[0])
+        variants = synth.variants_for(op)
+        # rhs S is an input here, so the in-place right-looking variant is
+        # not offered: blocked + unblocked remain.
+        assert variants == ["blocked", "unblocked"]
+
+    def test_right_looking_offered_when_rhs_writable(self):
+        source = """
+        Mat S(8, 8) <Out, UpSym, PD>;
+        Mat A(8, 8) <In>;
+        Mat U(8, 8) <Out, UpTri, NS, ow(S)>;
+        S = A * A' ;
+        U' * U = S;
+        """
+        program = parse_program(source)
+        sites = find_hlac_sites(program, 4)
+        assert "right-looking" in sites[0].variants
+
+    def test_database_caches_repeated_synthesis(self):
+        case = make_case("kf", 8)
+        database = AlgorithmDatabase()
+        synthesize_basic_program(case.program, 4, database=database)
+        first = database.stats()
+        synthesize_basic_program(case.program, 4, database=database)
+        second = database.stats()
+        assert second["hits"] > first["hits"]
+
+    def test_stage1_output_is_basic(self):
+        case = make_case("kf", 8)
+        result = synthesize_basic_program(case.program, 4)
+        assert result.program.is_basic()
+        assert len(result.variant_choices) == 5
+
+
+def _expand_and_run(case, variant, width=1, block=4):
+    sites = find_hlac_sites(case.program, block)
+    choices = {site.index: variant for site in sites}
+    result = synthesize_basic_program(case.program, block, choices)
+    function = lower_program(result.program,
+                             LoweringOptions(vector_width=width))
+    inputs = case.make_inputs(seed=5)
+    outputs = run_function(function, inputs)
+    return outputs, case.reference_outputs(inputs)
+
+
+class TestAlgorithmVariantsNumerically:
+    @pytest.mark.parametrize("variant", ["blocked", "unblocked"])
+    @pytest.mark.parametrize("n", [3, 4, 7, 9, 12])
+    def test_cholesky_upper_variants(self, variant, n):
+        case = make_case("potrf", n)
+        outputs, expected = _expand_and_run(case, variant)
+        np.testing.assert_allclose(np.triu(outputs["U"]),
+                                   np.triu(expected["U"]), atol=1e-8)
+
+    @pytest.mark.parametrize("variant", ["blocked", "unblocked"])
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_cholesky_lower_variants(self, variant, n):
+        case = make_case("gpr", n)
+        outputs, expected = _expand_and_run(case, variant)
+        for key in ("phi", "psi", "lambda"):
+            np.testing.assert_allclose(outputs[key], expected[key], atol=1e-8)
+
+    @pytest.mark.parametrize("variant", ["blocked", "unblocked"])
+    @pytest.mark.parametrize("n", [4, 6, 11])
+    def test_trtri_variants(self, variant, n):
+        case = make_case("trtri", n)
+        outputs, expected = _expand_and_run(case, variant)
+        np.testing.assert_allclose(np.tril(outputs["X"]),
+                                   np.tril(expected["X"]), atol=1e-8)
+
+    @pytest.mark.parametrize("variant", ["blocked", "columnwise"])
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_trsyl_variants(self, variant, n):
+        case = make_case("trsyl", n)
+        outputs, expected = _expand_and_run(case, variant)
+        np.testing.assert_allclose(outputs["X"], expected["X"], atol=1e-7)
+
+    @pytest.mark.parametrize("variant", ["gemv", "columnwise"])
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_trlya_variants(self, variant, n):
+        case = make_case("trlya", n)
+        outputs, expected = _expand_and_run(case, variant)
+        np.testing.assert_allclose(outputs["X"], expected["X"], atol=1e-7)
+
+    @pytest.mark.parametrize("variant", ["blocked", "unblocked"])
+    def test_trsm_variants_in_kf(self, variant):
+        case = make_case("kf", 7)
+        outputs, expected = _expand_and_run(case, variant)
+        np.testing.assert_allclose(outputs["x"], expected["x"], atol=1e-8)
+        np.testing.assert_allclose(outputs["P"], expected["P"], atol=1e-8)
+
+    def test_right_looking_with_aliasing(self):
+        source = """
+        Mat A(9, 9) <In>;
+        Mat S(9, 9) <Out, UpSym, PD>;
+        Mat U(9, 9) <Out, UpTri, NS, ow(S)>;
+        S = A' * A;
+        U' * U = S;
+        """
+        program = parse_program(source)
+        sites = find_hlac_sites(program, 4)
+        choices = {sites[0].index: "right-looking"}
+        result = synthesize_basic_program(program, 4, choices)
+        function = lower_program(result.program, LoweringOptions(4))
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((9, 9)) + 3 * np.eye(9)
+        out = run_function(function, {"A": A})
+        np.testing.assert_allclose(np.triu(out["S"]),
+                                   np.triu(refk.potrf_upper(A.T @ A)),
+                                   atol=1e-8)

@@ -1,0 +1,150 @@
+"""Tests for the LA language frontend (lexer + parser)."""
+
+import pytest
+
+from repro.applications import GPR_SOURCE, KF_SOURCE, L1A_SOURCE
+from repro.errors import LASemanticError, LASyntaxError
+from repro.ir import Assign, Equation, IOType, Structure
+from repro.la import parse_program, tokenize
+
+
+class TestLexer:
+    def test_tokenizes_declaration(self):
+        tokens = tokenize("Mat A(4, 4) <In, LoTri>;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword" and tokens[0].text == "Mat"
+        assert "eof" == kinds[-1]
+
+    def test_reports_position_of_bad_character(self):
+        with pytest.raises(LASyntaxError) as excinfo:
+            tokenize("Mat A(4, 4) <In>;\nA = $;")
+        assert excinfo.value.line == 2
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("# a comment\nMat A(2,2) <In>; // trailing\n")
+        assert all(t.text != "#" for t in tokens)
+
+
+class TestParserDeclarations:
+    def test_parse_fig5_fragment(self):
+        source = """
+        Mat H(k, n) <In>;
+        Mat P(k, k) <In, UpSym, PD>;
+        Mat R(k, k) <In, UpSym, PD>;
+        Mat S(k, k) <Out, UpSym, PD>;
+        Mat U(k, k) <Out, UpTri, NS, ow(S)>;
+        Mat B(k, k) <Out>;
+        S = H * H' + R;
+        U' * U = S;
+        U' * B = P;
+        """
+        program = parse_program(source, {"n": 8, "k": 6})
+        assert program.operand("H").shape == (6, 8)
+        assert program.operand("U").overwrites == "S"
+        assert program.operand("U").properties.structure is \
+            Structure.UPPER_TRIANGULAR
+        assert program.operand("S").io is IOType.OUT
+        kinds = [type(s) for s in program.statements]
+        assert kinds == [Assign, Equation, Equation]
+
+    def test_unbound_size_constant_rejected(self):
+        with pytest.raises(LASemanticError):
+            parse_program("Mat A(n, n) <In>;", {})
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises((LASemanticError, LASyntaxError)):
+            parse_program("Mat A(2, 2) <In, Sparse>;")
+
+    def test_vector_and_scalar_declarations(self):
+        program = parse_program("Vec x(5) <InOut>;\nSca alpha <In>;",
+                                {"n": 5})
+        assert program.operand("x").shape == (5, 1)
+        assert program.operand("alpha").is_scalar
+
+
+class TestParserStatements:
+    def test_undeclared_operand_in_statement(self):
+        with pytest.raises(LASemanticError):
+            parse_program("Mat A(2,2) <Out>;\nA = B;")
+
+    def test_assignment_to_input_rejected(self):
+        with pytest.raises(LASemanticError):
+            parse_program("Mat A(2,2) <In>;\nMat B(2,2) <In>;\nA = B;")
+
+    def test_transpose_postfix_and_function_form(self):
+        source = """
+        Mat A(3, 4) <In>;
+        Mat B(4, 3) <Out>;
+        Mat C(4, 3) <Out>;
+        B = A';
+        C = trans(A);
+        """
+        program = parse_program(source)
+        assert len(program.statements) == 2
+
+    def test_inverse_marks_statement_as_hlac(self):
+        source = """
+        Mat L(4, 4) <In, LoTri, NS>;
+        Mat X(4, 4) <Out, LoTri>;
+        X = inv(L);
+        """
+        program = parse_program(source)
+        assert program.statements[0].is_hlac()
+
+    def test_equation_statement_is_hlac(self):
+        source = """
+        Mat S(4, 4) <In, UpSym, PD>;
+        Mat U(4, 4) <Out, UpTri, NS>;
+        U' * U = S;
+        """
+        program = parse_program(source)
+        assert isinstance(program.statements[0], Equation)
+        assert program.statements[0].is_hlac()
+
+    def test_for_loop_parses_and_unrolls(self):
+        source = """
+        Mat A(2, 2) <In>;
+        Mat B(2, 2) <InOut>;
+        for (i = 0:3) { B = A + B; }
+        """
+        program = parse_program(source)
+        assert len(program.unrolled_statements()) == 3
+
+    def test_dimension_mismatch_is_reported(self):
+        source = """
+        Mat A(3, 4) <In>;
+        Mat B(4, 4) <In>;
+        Mat C(3, 3) <Out>;
+        C = A + B;
+        """
+        with pytest.raises(Exception):
+            parse_program(source)
+
+    def test_missing_semicolon_is_syntax_error(self):
+        with pytest.raises(LASyntaxError):
+            parse_program("Mat A(2,2) <In>\n")
+
+
+class TestPaperPrograms:
+    @pytest.mark.parametrize("source,constants", [
+        (KF_SOURCE, {"n": 8, "k": 8}),
+        (KF_SOURCE, {"n": 12, "k": 4}),
+        (GPR_SOURCE, {"n": 10}),
+        (L1A_SOURCE, {"n": 16}),
+    ])
+    def test_application_sources_parse(self, source, constants):
+        program = parse_program(source, constants)
+        program.validate()
+        assert len(program.statements) >= 8
+
+    def test_kf_has_five_hlacs(self):
+        program = parse_program(KF_SOURCE, {"n": 6, "k": 6})
+        assert len(program.hlacs()) == 5
+
+    def test_gpr_has_four_hlacs(self):
+        program = parse_program(GPR_SOURCE, {"n": 6})
+        assert len(program.hlacs()) == 4
+
+    def test_l1a_is_hlac_free(self):
+        program = parse_program(L1A_SOURCE, {"n": 6})
+        assert program.is_basic()

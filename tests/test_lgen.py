@@ -1,0 +1,212 @@
+"""Tests for the LGen-style sBLAC compiler: normalization and lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cir import run_function, run_pipeline, PassOptions
+from repro.ir import (Assign, Const, Div, IOType, Matrix, Mul, Program, Ref,
+                      Sub, Transpose, Vector, ref)
+from repro.lgen import (LoweringOptions, MatMulOp, Normalizer, NU_BLACS,
+                        ScalarAssignOp, ScaleCopyOp, candidate_variants,
+                        lower_program, push_down_transposes)
+from repro.lgen.normalize import chain_order
+
+
+def _program_with(statement_builder, name="p"):
+    """Helper: build a tiny program via a callback receiving the program."""
+    program = Program(name)
+    statement_builder(program)
+    program.validate()
+    return program
+
+
+class TestNormalization:
+    def test_push_down_transposes_product(self):
+        A = Matrix("A", 3, 4)
+        B = Matrix("B", 4, 5)
+        expr = Transpose(Mul(ref(A), ref(B)))
+        pushed = push_down_transposes(expr)
+        assert isinstance(pushed, Mul)
+        assert isinstance(pushed.left, Transpose)
+        assert pushed.left.child.view.operand.name == "B"
+
+    def test_double_transpose_cancels(self):
+        A = Matrix("A", 3, 4)
+        assert push_down_transposes(Transpose(Transpose(ref(A)))) == ref(A)
+
+    def test_chain_order_prefers_cheap_association(self):
+        # (10x1) * (1x10) * (10x1): right-to-left association is much cheaper.
+        steps = chain_order([10, 1, 10, 1])
+        assert steps[0] == (1, 2)
+
+    def test_in_place_accumulation_detected(self):
+        n = 4
+        prog = Program("p")
+        A = prog.declare(Matrix("A", n, n, IOType.IN))
+        B = prog.declare(Matrix("B", n, n, IOType.IN))
+        C = prog.declare(Matrix("C", n, n, IOType.INOUT))
+        stmt = Assign(C.full_view(), Sub(ref(C), Mul(ref(A), ref(B))))
+        ops = Normalizer().normalize(stmt)
+        assert len(ops) == 1
+        assert isinstance(ops[0], MatMulOp)
+        assert ops[0].accumulate == -1
+
+    def test_output_in_product_forces_temporary(self):
+        n = 4
+        prog = Program("p")
+        L = prog.declare(Matrix("L", n, n, IOType.IN))
+        U = prog.declare(Matrix("U", n, n, IOType.IN))
+        x = prog.declare(Vector("x", n, IOType.IN))
+        y = prog.declare(Vector("y", n, IOType.INOUT))
+        stmt = Assign(y.full_view(),
+                      Mul(ref(L), ref(x)) + Mul(ref(U), ref(y)))
+        ops = Normalizer().normalize(stmt)
+        # the result must be staged through a temporary and copied back
+        assert isinstance(ops[-1], ScaleCopyOp)
+        assert ops[-1].dest.operand is y
+
+    def test_three_factor_chain_introduces_temporary(self):
+        n = 4
+        prog = Program("p")
+        F = prog.declare(Matrix("F", n, n, IOType.IN))
+        P = prog.declare(Matrix("P", n, n, IOType.IN))
+        Y = prog.declare(Matrix("Y", n, n, IOType.OUT))
+        stmt = Assign(Y.full_view(),
+                      Mul(Mul(ref(F), ref(P)), Transpose(ref(F))))
+        normalizer = Normalizer()
+        ops = normalizer.normalize(stmt)
+        matmuls = [op for op in ops if isinstance(op, MatMulOp)]
+        assert len(matmuls) == 2
+        assert len(normalizer.temps.operands) == 1
+
+    def test_scalar_statement_goes_to_scalar_op(self):
+        prog = Program("p")
+        a = prog.declare(Matrix("a", 1, 1, IOType.IN))
+        b = prog.declare(Matrix("b", 1, 1, IOType.OUT))
+        stmt = Assign(b.full_view(), Div(Const(1.0), ref(a)))
+        ops = Normalizer().normalize(stmt)
+        assert len(ops) == 1 and isinstance(ops[0], ScalarAssignOp)
+
+    def test_division_becomes_reciprocal_coefficient(self):
+        n = 4
+        prog = Program("p")
+        s = prog.declare(Matrix("s", 1, 1, IOType.IN))
+        x = prog.declare(Vector("x", n, IOType.IN))
+        y = prog.declare(Vector("y", n, IOType.OUT))
+        stmt = Assign(y.full_view(), Div(ref(x), ref(s)))
+        ops = Normalizer().normalize(stmt)
+        assert isinstance(ops[0], ScaleCopyOp)
+        assert ops[0].alpha.factors[0][1] is True  # reciprocal flag
+
+
+class TestNuBlacs:
+    def test_catalogue_has_18_entries(self):
+        assert len(NU_BLACS) == 18
+        assert len({blac.name for blac in NU_BLACS}) == 18
+
+    def test_codegen_variant_labels_unique(self):
+        variants = candidate_variants()
+        assert len({v.label for v in variants}) == len(variants)
+
+
+def _run_lowered(program, inputs, width):
+    function = lower_program(program, LoweringOptions(vector_width=width))
+    run_pipeline(function, PassOptions())
+    return run_function(function, inputs)
+
+
+class TestLoweringCorrectness:
+    @pytest.mark.parametrize("width", [1, 4])
+    @pytest.mark.parametrize("m,k,n", [(1, 1, 1), (2, 3, 2), (4, 4, 4),
+                                       (5, 7, 3), (8, 9, 11), (6, 1, 6)])
+    @pytest.mark.parametrize("trans_a,trans_b", [(False, False), (True, False),
+                                                 (False, True)])
+    def test_gemm_all_shapes(self, width, m, k, n, trans_a, trans_b):
+        prog = Program("gemm")
+        A = prog.declare(Matrix("A", (k if trans_a else m),
+                                (m if trans_a else k), IOType.IN))
+        B = prog.declare(Matrix("B", (n if trans_b else k),
+                                (k if trans_b else n), IOType.IN))
+        C = prog.declare(Matrix("C", m, n, IOType.INOUT))
+        a_expr = Transpose(ref(A)) if trans_a else ref(A)
+        b_expr = Transpose(ref(B)) if trans_b else ref(B)
+        prog.add(Assign(C.full_view(), ref(C) + Mul(a_expr, b_expr)))
+        prog.validate()
+
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        Am = rng.standard_normal(A.shape)
+        Bm = rng.standard_normal(B.shape)
+        Cm = rng.standard_normal(C.shape)
+        out = _run_lowered(prog, {"A": Am, "B": Bm, "C": Cm}, width)
+        Ahat = Am.T if trans_a else Am
+        Bhat = Bm.T if trans_b else Bm
+        np.testing.assert_allclose(out["C"], Cm + Ahat @ Bhat, atol=1e-10)
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_gemv_and_dot(self, width):
+        n = 9
+        prog = Program("gemv")
+        A = prog.declare(Matrix("A", n, n, IOType.IN))
+        x = prog.declare(Vector("x", n, IOType.IN))
+        y = prog.declare(Vector("y", n, IOType.OUT))
+        alpha = prog.declare(Matrix("alpha", 1, 1, IOType.OUT))
+        prog.add(Assign(y.full_view(), Mul(Transpose(ref(A)), ref(x))))
+        prog.add(Assign(alpha.full_view(), Mul(Transpose(ref(x)), ref(x))))
+        prog.validate()
+        rng = np.random.default_rng(7)
+        Am, xm = rng.standard_normal((n, n)), rng.standard_normal((n, 1))
+        out = _run_lowered(prog, {"A": Am, "x": xm}, width)
+        np.testing.assert_allclose(out["y"], Am.T @ xm, atol=1e-10)
+        np.testing.assert_allclose(out["alpha"], xm.T @ xm, atol=1e-10)
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_transposed_copy_and_axpy(self, width):
+        m, n = 6, 7
+        prog = Program("copy")
+        A = prog.declare(Matrix("A", m, n, IOType.IN))
+        B = prog.declare(Matrix("B", n, m, IOType.OUT))
+        s = prog.declare(Matrix("s", 1, 1, IOType.IN))
+        x = prog.declare(Vector("x", m, IOType.IN))
+        y = prog.declare(Vector("y", m, IOType.INOUT))
+        prog.add(Assign(B.full_view(), Transpose(ref(A))))
+        prog.add(Assign(y.full_view(), ref(y) + Mul(ref(s), ref(x))))
+        prog.validate()
+        rng = np.random.default_rng(11)
+        Am = rng.standard_normal((m, n))
+        xm, ym = rng.standard_normal((m, 1)), rng.standard_normal((m, 1))
+        sm = np.array([[2.5]])
+        out = _run_lowered(prog, {"A": Am, "x": xm, "y": ym, "s": sm}, width)
+        np.testing.assert_allclose(out["B"], Am.T, atol=1e-12)
+        np.testing.assert_allclose(out["y"], ym + 2.5 * xm, atol=1e-12)
+
+    def test_scalar_expression_with_sqrt_and_div(self):
+        prog = Program("scalars")
+        a = prog.declare(Matrix("a", 1, 1, IOType.IN))
+        b = prog.declare(Matrix("b", 1, 1, IOType.IN))
+        c = prog.declare(Matrix("c", 1, 1, IOType.OUT))
+        from repro.ir import Sqrt
+        prog.add(Assign(c.full_view(),
+                        Div(Sqrt(ref(a)), ref(b)) + Const(1.0)))
+        prog.validate()
+        out = _run_lowered(prog, {"a": np.array([[9.0]]),
+                                  "b": np.array([[2.0]])}, 1)
+        assert out["c"][0, 0] == pytest.approx(3.0 / 2.0 + 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(1, 7), k=st.integers(1, 7), n=st.integers(1, 7),
+           width=st.sampled_from([1, 4]), seed=st.integers(0, 1000))
+    def test_property_random_gemm_plus_matrix(self, m, k, n, width, seed):
+        """Property: lowering of C = A*B + D matches numpy for any shape."""
+        prog = Program("prop")
+        A = prog.declare(Matrix("A", m, k, IOType.IN))
+        B = prog.declare(Matrix("B", k, n, IOType.IN))
+        D = prog.declare(Matrix("D", m, n, IOType.IN))
+        C = prog.declare(Matrix("C", m, n, IOType.OUT))
+        prog.add(Assign(C.full_view(), Mul(ref(A), ref(B)) + ref(D)))
+        prog.validate()
+        rng = np.random.default_rng(seed)
+        Am, Bm, Dm = (rng.standard_normal(s) for s in [(m, k), (k, n), (m, n)])
+        out = _run_lowered(prog, {"A": Am, "B": Bm, "D": Dm}, width)
+        np.testing.assert_allclose(out["C"], Am @ Bm + Dm, atol=1e-10)

@@ -1,0 +1,121 @@
+"""Tests for the machine model (instruction mix, roofline) and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.applications import make_case
+from repro.backend import unparse_function
+from repro.baselines import baseline_names, evaluate_baseline
+from repro.bench import hlac_sizes, run_series
+from repro.machine import (SANDY_BRIDGE, analyze_function, analyze_mix,
+                           instruction_mix, InstructionMix)
+from repro.slingen import Options, SLinGen
+from repro.cir import (Affine, Assign, Buffer, FloatConst, For, Function,
+                       ScalarVar, Store, VBinOp, VecVar, VLoad, VStore)
+
+
+class TestInstructionMix:
+    def test_loop_weighting_is_exact(self):
+        a = Buffer("a", 1, 16, "in")
+        out = Buffer("out", 1, 16, "out")
+        v = VecVar("v")
+        body = [For("i", 0, 16, 4,
+                    [Assign(v, VBinOp("mul", VLoad(a, Affine.var("i")),
+                                      VLoad(a, Affine.var("i")))),
+                     VStore(out, Affine.var("i"), v)])]
+        func = Function("k", [a, out], [], body, vector_width=4)
+        mix = instruction_mix(func)
+        assert mix.vector_mul == 4
+        assert mix.vector_loads == 8
+        assert mix.vector_stores == 4
+        assert mix.flops == 4 * 4
+
+    def test_mix_addition_and_scaling(self):
+        mix = InstructionMix(vector_add=2, scalar_div=1, vector_width=4)
+        double = mix + mix
+        assert double.vector_add == 4
+        assert mix.scaled(3).scalar_div == 3
+
+    def test_peak_performance_of_machine(self):
+        assert SANDY_BRIDGE.peak_flops_per_cycle == 8
+
+
+class TestRoofline:
+    def test_division_bound_at_small_sizes(self):
+        case = make_case("potrf", 4)
+        generated = SLinGen(Options(autotune=False)).generate(
+            case.program, nominal_flops=case.nominal_flops)
+        assert generated.performance.bottleneck == "divs/sqrt"
+
+    def test_not_division_bound_at_larger_sizes(self):
+        case = make_case("potrf", 64)
+        generated = SLinGen(Options(autotune=False)).generate(
+            case.program, nominal_flops=case.nominal_flops)
+        assert generated.performance.bottleneck != "divs/sqrt"
+        assert 0.5 < generated.performance.flops_per_cycle <= 8.0
+
+    def test_shuffle_blend_rate_and_limits(self):
+        case = make_case("trtri", 20)
+        generated = SLinGen(Options(autotune=False)).generate(
+            case.program, nominal_flops=case.nominal_flops)
+        perf = generated.performance
+        assert 0.0 <= perf.shuffle_blend_issue_rate < 1.0
+        assert 0.0 < perf.perf_limit_shuffles <= 8.0
+        assert 0.0 < perf.perf_limit_blends <= 8.0
+
+    def test_call_overhead_increases_cycles(self):
+        mix = InstructionMix(vector_mul=100, vector_add=100, vector_width=4)
+        without = analyze_mix(mix, nominal_flops=800.0, call_count=0)
+        with_calls = analyze_mix(mix, nominal_flops=800.0, call_count=10)
+        assert with_calls.cycles > without.cycles
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("case_name", ["potrf", "trsyl", "trtri", "kf",
+                                           "l1a", "gpr"])
+    def test_all_baselines_evaluate(self, case_name):
+        case = make_case(case_name, 24)
+        for name in baseline_names(case.name):
+            result = evaluate_baseline(name, case)
+            assert result.cycles > 0
+            assert 0 < result.flops_per_cycle < 8.0
+
+    def test_mkl_improves_with_size(self):
+        small = evaluate_baseline("mkl", make_case("potrf", 8))
+        large = evaluate_baseline("mkl", make_case("potrf", 96))
+        assert large.flops_per_cycle > small.flops_per_cycle
+
+    def test_cl1ck_small_blocks_pay_call_overhead(self):
+        case = make_case("potrf", 64)
+        nb4 = evaluate_baseline("cl1ck-mkl-nb4", case)
+        nbn = evaluate_baseline("cl1ck-mkl-nbn", case)
+        assert nb4.calls > nbn.calls
+
+    def test_scalar_compiler_baselines_below_vector_peak(self):
+        case = make_case("potrf", 64)
+        assert evaluate_baseline("icc", case).flops_per_cycle < 1.2
+        assert evaluate_baseline("clang-polly", case).flops_per_cycle < 1.5
+
+
+class TestSeriesHarness:
+    def test_series_shape_matches_paper(self):
+        series = run_series("potrf", [8, 24],
+                            options=Options(autotune=False,
+                                            annotate_code=False),
+                            validate=True)
+        assert [p.size for p in series.points] == [8, 24]
+        for point in series.points:
+            assert point.correct is True
+            assert point.performance["slingen"] > point.performance["icc"]
+        table = series.format_table()
+        assert "slingen" in table and "mkl" in table
+
+    def test_speedup_helper(self):
+        series = run_series("l1a", [8],
+                            options=Options(autotune=False,
+                                            annotate_code=False))
+        assert all(s > 0 for s in series.speedup("mkl"))
+
+    def test_default_size_grids(self):
+        assert all(size <= 124 for size in hlac_sizes())
+        assert len(hlac_sizes()) >= 3
