@@ -14,19 +14,20 @@ from repro.bench import measure_slingen
 from repro.slingen import Options
 
 
-def _cycles(case, **kwargs):
+def _cycles(case, service=None, **kwargs):
     options = Options(annotate_code=False, **kwargs)
-    generated, _, _ = measure_slingen(case, options)
+    generated, _, _ = measure_slingen(case, options, service=service)
     return generated.performance.cycles
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_vectorization(benchmark, results_dir):
+def test_ablation_vectorization(benchmark, results_dir, kernel_service):
     case = make_case("potrf", 24)
 
     def build():
-        return (_cycles(case, vectorize=True, autotune=False),
-                _cycles(case, vectorize=False, autotune=False))
+        return (_cycles(case, kernel_service, vectorize=True, autotune=False),
+                _cycles(case, kernel_service, vectorize=False,
+                        autotune=False))
 
     vectorized, scalar = benchmark.pedantic(build, rounds=1, iterations=1)
     table = (f"[ablation-vectorization] potrf n=24: "
@@ -37,14 +38,16 @@ def test_ablation_vectorization(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_loadstore(benchmark, results_dir):
+def test_ablation_loadstore(benchmark, results_dir, kernel_service):
     case = make_case("potrf", 16)
 
     def build():
         with_lsa, _, _ = measure_slingen(case, Options(
-            autotune=False, load_store_analysis=True, annotate_code=False))
+            autotune=False, load_store_analysis=True, annotate_code=False),
+            service=kernel_service)
         without_lsa, _, _ = measure_slingen(case, Options(
-            autotune=False, load_store_analysis=False, annotate_code=False))
+            autotune=False, load_store_analysis=False, annotate_code=False),
+            service=kernel_service)
         return with_lsa, without_lsa
 
     with_lsa, without_lsa = benchmark.pedantic(build, rounds=1, iterations=1)
@@ -61,12 +64,12 @@ def test_ablation_loadstore(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_autotune(benchmark, results_dir):
+def test_ablation_autotune(benchmark, results_dir, kernel_service):
     case = make_case("trtri", 24)
 
     def build():
-        return (_cycles(case, autotune=True, max_variants=8),
-                _cycles(case, autotune=False))
+        return (_cycles(case, kernel_service, autotune=True, max_variants=8),
+                _cycles(case, kernel_service, autotune=False))
 
     tuned, untuned = benchmark.pedantic(build, rounds=1, iterations=1)
     table = (f"[ablation-autotune] trtri n=24: autotuned={tuned:.0f} cycles, "
@@ -77,14 +80,16 @@ def test_ablation_autotune(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_rewrite_rules(benchmark, results_dir):
+def test_ablation_rewrite_rules(benchmark, results_dir, kernel_service):
     case = make_case("gpr", 16)
 
     def build():
         with_rules, _, _ = measure_slingen(case, Options(
-            autotune=False, rewrite_rules=True, annotate_code=False))
+            autotune=False, rewrite_rules=True, annotate_code=False),
+            service=kernel_service)
         without_rules, _, _ = measure_slingen(case, Options(
-            autotune=False, rewrite_rules=False, annotate_code=False))
+            autotune=False, rewrite_rules=False, annotate_code=False),
+            service=kernel_service)
         return with_rules, without_rules
 
     with_rules, without_rules = benchmark.pedantic(build, rounds=1,

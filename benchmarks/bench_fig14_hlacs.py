@@ -14,12 +14,13 @@ from conftest import write_series
 from repro.bench import generator_options, hlac_sizes, run_series
 
 
-def _run(case_name, benchmark, results_dir, baselines=None):
+def _run(case_name, benchmark, results_dir, service, baselines=None):
     sizes = hlac_sizes()
 
     def build():
         return run_series(case_name, sizes, options=generator_options(),
-                          validate=False, baselines=baselines)
+                          validate=False, baselines=baselines,
+                          service=service)
 
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     table = series.format_table()
@@ -29,8 +30,8 @@ def _run(case_name, benchmark, results_dir, baselines=None):
 
 
 @pytest.mark.benchmark(group="fig14")
-def test_fig14a_potrf(benchmark, results_dir):
-    series = _run("potrf", benchmark, results_dir)
+def test_fig14a_potrf(benchmark, results_dir, kernel_service):
+    series = _run("potrf", benchmark, results_dir, kernel_service)
     largest = series.points[-1].performance
     # SLinGen beats MKL, Eigen and straightforward C (paper: ~2x, ~3.8x, ~4.2x).
     assert largest["slingen"] > largest["mkl"]
@@ -41,8 +42,8 @@ def test_fig14a_potrf(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="fig14")
-def test_fig14b_trsyl(benchmark, results_dir):
-    series = _run("trsyl", benchmark, results_dir)
+def test_fig14b_trsyl(benchmark, results_dir, kernel_service):
+    series = _run("trsyl", benchmark, results_dir, kernel_service)
     largest = series.points[-1].performance
     assert largest["slingen"] > largest["mkl"]
     assert largest["slingen"] > largest["recsy"]
@@ -50,16 +51,16 @@ def test_fig14b_trsyl(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="fig14")
-def test_fig14c_trlya(benchmark, results_dir):
-    series = _run("trlya", benchmark, results_dir)
+def test_fig14c_trlya(benchmark, results_dir, kernel_service):
+    series = _run("trlya", benchmark, results_dir, kernel_service)
     largest = series.points[-1].performance
     assert largest["slingen"] > largest["mkl"]
     assert largest["slingen"] > largest["icc"]
 
 
 @pytest.mark.benchmark(group="fig14")
-def test_fig14d_trtri(benchmark, results_dir):
-    series = _run("trtri", benchmark, results_dir)
+def test_fig14d_trtri(benchmark, results_dir, kernel_service):
+    series = _run("trtri", benchmark, results_dir, kernel_service)
     largest = series.points[-1].performance
     assert largest["slingen"] > largest["mkl"]
     assert largest["slingen"] > largest["eigen"]

@@ -8,12 +8,12 @@ from repro.bench import (application_sizes, generator_options,
                          kf28_observation_sizes, run_series)
 
 
-def _run(case_name, benchmark, results_dir, sizes, case_factory=None,
-         baselines=None):
+def _run(case_name, benchmark, results_dir, service, sizes,
+         case_factory=None, baselines=None):
     def build():
         return run_series(case_name, sizes, case_factory=case_factory,
                           options=generator_options(), validate=False,
-                          baselines=baselines)
+                          baselines=baselines, service=service)
 
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     table = series.format_table()
@@ -23,8 +23,9 @@ def _run(case_name, benchmark, results_dir, sizes, case_factory=None,
 
 
 @pytest.mark.benchmark(group="fig15")
-def test_fig15a_kf(benchmark, results_dir):
-    series = _run("kf", benchmark, results_dir, application_sizes())
+def test_fig15a_kf(benchmark, results_dir, kernel_service):
+    series = _run("kf", benchmark, results_dir, kernel_service,
+                  application_sizes())
     largest = series.points[-1].performance
     # Paper: SLinGen ~1.4x MKL, ~3x Eigen, ~4x icc on average; gaps are larger
     # at the small sizes typical for Kalman filters.
@@ -36,16 +37,18 @@ def test_fig15a_kf(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="fig15")
-def test_fig15b_kf28(benchmark, results_dir):
-    series = _run("kf-28", benchmark, results_dir, kf28_observation_sizes(),
+def test_fig15b_kf28(benchmark, results_dir, kernel_service):
+    series = _run("kf-28", benchmark, results_dir, kernel_service,
+                  kf28_observation_sizes(),
                   case_factory=lambda k: kf_case(28, k))
     largest = series.points[-1].performance
     assert largest["slingen"] > largest["mkl"]
 
 
 @pytest.mark.benchmark(group="fig15")
-def test_fig15c_gpr(benchmark, results_dir):
-    series = _run("gpr", benchmark, results_dir, application_sizes())
+def test_fig15c_gpr(benchmark, results_dir, kernel_service):
+    series = _run("gpr", benchmark, results_dir, kernel_service,
+                  application_sizes())
     largest = series.points[-1].performance
     # Paper: roughly on par with MKL, ~1.7x over icc and Eigen.
     assert largest["slingen"] > largest["icc"]
@@ -53,8 +56,9 @@ def test_fig15c_gpr(benchmark, results_dir):
 
 
 @pytest.mark.benchmark(group="fig15")
-def test_fig15d_l1a(benchmark, results_dir):
-    series = _run("l1a", benchmark, results_dir, application_sizes())
+def test_fig15d_l1a(benchmark, results_dir, kernel_service):
+    series = _run("l1a", benchmark, results_dir, kernel_service,
+                  application_sizes())
     largest = series.points[-1].performance
     # Paper: ~1.6x MKL, ~1.3x Eigen, ~1.5x icc.
     assert largest["slingen"] > largest["icc"]

@@ -24,9 +24,10 @@ def _sizes():
     return [4, 76, 124] if full_sizes_requested() else [4, 20, 36]
 
 
-def _row(name, size):
+def _row(name, size, service=None):
     case = make_case(name, size)
-    generated, _, _ = measure_slingen(case, generator_options(autotune=False))
+    generated, _, _ = measure_slingen(case, generator_options(autotune=False),
+                                      service=service)
     perf = generated.performance
     return {
         "computation": name,
@@ -39,12 +40,13 @@ def _row(name, size):
 
 
 @pytest.mark.benchmark(group="table4")
-def test_table4_bottleneck_analysis(benchmark, results_dir):
+def test_table4_bottleneck_analysis(benchmark, results_dir,
+                                   kernel_service):
     def build():
         rows = []
         for name in ROUTINES:
             for size in _sizes():
-                rows.append(_row(name, size))
+                rows.append(_row(name, size, service=kernel_service))
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)

@@ -26,6 +26,28 @@ def results_dir():
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def kernel_service(tmp_path_factory):
+    """One shared kernel service for the whole benchmark session.
+
+    Every figure/table routes generation through this service, so sizes
+    repeated across figures (and options repeated across ablations) are
+    cache hits instead of full pipeline re-runs.  The cache lives in a
+    session-temporary directory; point ``REPRO_KERNEL_CACHE`` somewhere
+    persistent to keep kernels across benchmark sessions.
+    """
+    from repro.service import DiskKernelStore, KernelService
+
+    root = os.environ.get("REPRO_KERNEL_CACHE", "").strip() \
+        or str(tmp_path_factory.mktemp("kernel-cache"))
+    service = KernelService(store=DiskKernelStore(root=root))
+    yield service
+    snapshot = service.stats.snapshot()
+    print(f"\n[kernel-service] {snapshot['requests']} requests, "
+          f"{snapshot['hits']} hits, {snapshot['misses']} generated, "
+          f"hit rate {snapshot['hit_rate']:.0%}")
+
+
 def write_series(results_dir: str, name: str, text: str) -> None:
     path = os.path.join(results_dir, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:

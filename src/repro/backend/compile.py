@@ -23,7 +23,17 @@ from ..errors import BackendError
 
 
 def find_c_compiler() -> Optional[str]:
-    """Return the path of a usable C compiler, or None."""
+    """Return the path of a usable C compiler, or None.
+
+    The ``CC`` environment variable takes precedence (the conventional way
+    to select a compiler); when it is unset or does not resolve to an
+    executable, the usual suspects are probed in order.
+    """
+    cc = os.environ.get("CC", "").strip()
+    if cc:
+        path = shutil.which(cc)
+        if path:
+            return path
     for candidate in ("cc", "gcc", "clang"):
         path = shutil.which(candidate)
         if path:
@@ -68,14 +78,57 @@ class CompiledKernel:
                 for buf in self.function.params if buf.writable}
 
 
+def default_object_cache_dir() -> str:
+    """Directory holding cached compiled shared objects.
+
+    Overridable via ``REPRO_OBJECT_CACHE``; shares a parent with the kernel
+    cache of :mod:`repro.service.store` so one directory holds all caches.
+    """
+    from ..ioutil import cache_root
+    return cache_root("REPRO_OBJECT_CACHE", "objects")
+
+
 def compile_kernel(c_code: str, function: Function,
                    extra_flags: Optional[List[str]] = None,
-                   keep_dir: Optional[str] = None) -> CompiledKernel:
+                   keep_dir: Optional[str] = None,
+                   cache_key: Optional[str] = None,
+                   cache_dir: Optional[str] = None) -> CompiledKernel:
     """Compile emitted C code into a shared library and wrap it.
+
+    When ``cache_key`` is given (the kernel service's content hash), the
+    shared object is kept under ``cache_dir`` and reused by later calls with
+    the same key and flags, skipping the compiler entirely.
 
     Raises :class:`~repro.errors.BackendError` when no compiler is available
     or compilation fails (the compiler diagnostics are included).
     """
+    flags = ["-O2", "-std=c99", "-shared", "-fPIC", "-lm"]
+    if function.vector_width > 1:
+        flags.append("-mavx")
+    if extra_flags:
+        flags.extend(extra_flags)
+
+    cached_path: Optional[str] = None
+    if cache_key is not None:
+        import hashlib
+        digest = hashlib.sha256(
+            "\x00".join([cache_key, function.name] + flags).encode()
+        ).hexdigest()[:32]
+        cache_root = cache_dir or default_object_cache_dir()
+        cached_path = os.path.join(cache_root, f"{digest}.so")
+        if os.path.exists(cached_path):
+            try:
+                library = ctypes.CDLL(cached_path)
+                return CompiledKernel(function=function,
+                                      library_path=cached_path,
+                                      _library=library)
+            except OSError:
+                # Corrupt/incompatible cached object: drop it and recompile.
+                try:
+                    os.unlink(cached_path)
+                except OSError:
+                    pass
+
     compiler = find_c_compiler()
     if compiler is None:
         raise BackendError("no C compiler available on this system")
@@ -86,17 +139,17 @@ def compile_kernel(c_code: str, function: Function,
     with open(source_path, "w", encoding="utf-8") as handle:
         handle.write(c_code)
 
-    flags = ["-O2", "-std=c99", "-shared", "-fPIC", "-lm"]
-    if function.vector_width > 1:
-        flags.append("-mavx")
-    if extra_flags:
-        flags.extend(extra_flags)
-
     command = [compiler, source_path, "-o", library_path] + flags
     result = subprocess.run(command, capture_output=True, text=True)
     if result.returncode != 0:
         raise BackendError(
             f"compilation of generated code failed:\n{result.stderr}")
+
+    if cached_path is not None:
+        from ..ioutil import atomic_publish
+        os.makedirs(os.path.dirname(cached_path), exist_ok=True)
+        atomic_publish(library_path, cached_path)
+        library_path = cached_path
 
     library = ctypes.CDLL(library_path)
     return CompiledKernel(function=function, library_path=library_path,

@@ -119,26 +119,41 @@ def generator_options(vectorize: bool = True, autotune: bool = True,
 
 def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
                     machine: Optional[MicroArchitecture] = None,
-                    validate: bool = False):
-    """Generate code for one case and return (GeneratedCode, f/c, correct?)."""
-    machine = machine or default_machine()
-    generator = SLinGen(options or generator_options(), machine=machine)
-    generated = generator.generate(case.program,
-                                   nominal_flops=case.nominal_flops)
-    correct: Optional[bool] = None
-    if validate:
-        inputs = case.make_inputs(seed=17)
-        outputs = generated.run(inputs)
-        expected = case.reference_outputs(inputs)
-        correct = True
-        for key, mode in case.checked_outputs.items():
-            got, want = outputs[key], expected[key]
-            if mode == "lower":
-                got, want = np.tril(got), np.tril(want)
-            elif mode == "upper":
-                got, want = np.triu(got), np.triu(want)
-            correct = correct and bool(np.allclose(got, want, atol=1e-7))
+                    validate: bool = False, service=None):
+    """Generate code for one case and return (result, f/c, correct?).
+
+    With a :class:`~repro.service.service.KernelService` as ``service``,
+    generation goes through the persistent kernel cache (the service's
+    machine model wins over ``machine``), so repeated sizes across figures
+    and re-runs of a suite are cache hits instead of full pipeline runs.
+    """
+    if service is not None:
+        from ..service.service import GenerationRequest
+        generated = service.generate(GenerationRequest.from_case(
+            case, options=options or generator_options())).result
+    else:
+        machine = machine or default_machine()
+        generator = SLinGen(options or generator_options(), machine=machine)
+        generated = generator.generate_result(
+            case.program, nominal_flops=case.nominal_flops)
+    correct = check_case(case, generated) if validate else None
     return generated, generated.performance.flops_per_cycle, correct
+
+
+def check_case(case: BenchmarkCase, generated) -> bool:
+    """Run the generated kernel (interpreter) against the case's oracle."""
+    inputs = case.make_inputs(seed=17)
+    outputs = generated.run(inputs)
+    expected = case.reference_outputs(inputs)
+    correct = True
+    for key, mode in case.checked_outputs.items():
+        got, want = outputs[key], expected[key]
+        if mode == "lower":
+            got, want = np.tril(got), np.tril(want)
+        elif mode == "upper":
+            got, want = np.triu(got), np.triu(want)
+        correct = correct and bool(np.allclose(got, want, atol=1e-7))
+    return correct
 
 
 def run_series(case_name: str, sizes: Sequence[int],
@@ -146,15 +161,38 @@ def run_series(case_name: str, sizes: Sequence[int],
                options: Optional[Options] = None,
                machine: Optional[MicroArchitecture] = None,
                baselines: Optional[List[str]] = None,
-               validate: bool = False) -> Series:
-    """Run one figure: SLinGen + all baselines over a size sweep."""
-    machine = machine or default_machine()
+               validate: bool = False, service=None) -> Series:
+    """Run one figure: SLinGen + all baselines over a size sweep.
+
+    ``service`` (a :class:`~repro.service.service.KernelService`) routes
+    all generation through the kernel cache; misses for the whole sweep are
+    generated in parallel up front via :meth:`generate_many`.
+    """
+    machine = service.machine if service is not None \
+        else (machine or default_machine())
     series = Series(name=case_name)
-    for size in sizes:
-        case = case_factory(size) if case_factory else make_case(case_name,
-                                                                 size)
-        generated, ours, correct = measure_slingen(case, options, machine,
-                                                   validate)
+    cases = [case_factory(size) if case_factory else make_case(case_name,
+                                                               size)
+             for size in sizes]
+    if service is not None:
+        # One batch request for the sweep: hits come from the store, every
+        # miss generates on the service's worker pool.
+        from ..service.service import GenerationRequest
+        responses = service.generate_many([
+            GenerationRequest.from_case(c, options=options
+                                        or generator_options())
+            for c in cases])
+        results = [r.result for r in responses]
+    else:
+        results = [None] * len(cases)
+    for case, pregenerated in zip(cases, results):
+        if pregenerated is not None:
+            generated = pregenerated
+            ours = generated.performance.flops_per_cycle
+            correct = check_case(case, generated) if validate else None
+        else:
+            generated, ours, correct = measure_slingen(case, options, machine,
+                                                       validate)
         performance = {"slingen": ours}
         cycles = {"slingen": generated.performance.cycles}
         for baseline in (baselines if baselines is not None
@@ -163,7 +201,7 @@ def run_series(case_name: str, sizes: Sequence[int],
             performance[baseline] = result.flops_per_cycle
             cycles[baseline] = result.cycles
         series.points.append(SeriesPoint(
-            size=size, flops=case.nominal_flops, performance=performance,
+            size=case.size, flops=case.nominal_flops, performance=performance,
             cycles=cycles, bottleneck=generated.performance.bottleneck,
             variant=generated.variant_label, correct=correct))
     return series

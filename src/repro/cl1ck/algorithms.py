@@ -28,7 +28,7 @@ The variants offered per operation:
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..errors import SynthesisError
 from ..ir.expr import (Add, Const, Div, Expr, Mul, Neg, Ref, Sqrt, Sub,
@@ -50,18 +50,22 @@ class Synthesizer:
         The blocking factor nu (normally the vector width).
     """
 
-    #: Shared counter so temporaries are uniquely named across all synthesizer
+    #: Fallback counter so temporaries are uniquely named across synthesizer
     #: instances.  Stage-1 expansions are cached in the algorithm database and
     #: may be spliced into several candidate programs; per-instance counters
     #: would let unrelated temporaries collide on the same name (and thus the
-    #: same C buffer).
+    #: same C buffer).  Callers that need deterministic output (the kernel
+    #: cache hashes it) pass the per-run counter of their AlgorithmDatabase
+    #: instead of relying on this process-global one.
     _shared_counter = itertools.count()
 
     def __init__(self, program: Program, block_size: int = 4,
-                 temp_prefix: str = "c1"):
+                 temp_prefix: str = "c1",
+                 counter: Optional[Iterator[int]] = None):
         self.program = program
         self.block_size = max(1, block_size)
-        self._counter = Synthesizer._shared_counter
+        self._counter = counter if counter is not None \
+            else Synthesizer._shared_counter
         self._prefix = temp_prefix
 
     # -- public API -------------------------------------------------------------

@@ -9,6 +9,7 @@ expansions when the exact same operand views recur.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,13 @@ class AlgorithmDatabase:
     def __init__(self) -> None:
         self._entries: Dict[Tuple, DatabaseEntry] = {}
         self._expansions: Dict[Tuple, List[Statement]] = {}
+        #: Temporary-name counter shared by every synthesizer of one
+        #: generation run.  Cached expansions are spliced into several
+        #: candidate programs, so temps must be unique database-wide; scoping
+        #: the counter here (rather than process-globally) makes generated
+        #: code a pure function of the request -- a requirement of the
+        #: content-addressed kernel cache.
+        self.temp_counter = itertools.count()
 
     def entry_for(self, op: OperationInstance,
                   variants: List[str]) -> DatabaseEntry:

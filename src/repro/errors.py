@@ -11,6 +11,18 @@ class ReproError(Exception):
     """Base class for every error raised by the repro package."""
 
 
+class ConfigurationError(ReproError):
+    """Raised when user-facing options fail validation."""
+
+
+class ServiceError(ReproError):
+    """Raised by the kernel-generation service layer."""
+
+
+class StoreError(ServiceError):
+    """Raised on unrecoverable kernel-store failures (e.g. unusable root)."""
+
+
 class LAError(ReproError):
     """Errors related to the LA input language."""
 

@@ -1,0 +1,44 @@
+"""Small filesystem helpers shared by the caches (kernel store, object
+cache).
+
+Kept in a leaf module so both :mod:`repro.service.store` and
+:mod:`repro.backend.compile` can use one implementation of the atomic-write
+protocol and the cache-directory convention without layering inversions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never observe a torn file.
+
+    Stages to a private temp file (unique per process *and* thread, so
+    concurrent writers of the same path each stage separately) and commits
+    with ``os.replace``, which is atomic on POSIX within one filesystem.
+    """
+    staged = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
+    with open(staged, "wb") as handle:
+        handle.write(data)
+    os.replace(staged, path)
+
+
+def atomic_publish(source_path: str, path: str) -> None:
+    """Atomically publish an existing file (e.g. a compiled ``.so``) at
+    ``path`` by staging a copy next to it and ``os.replace``-ing."""
+    import shutil
+    staged = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
+    shutil.copyfile(source_path, staged)
+    os.replace(staged, path)
+
+
+def cache_root(env_var: str, subdir: str) -> str:
+    """Resolve a cache directory: ``$<env_var>`` when set, otherwise
+    ``~/.cache/repro-slingen/<subdir>`` (all repro caches share a parent)."""
+    env = os.environ.get(env_var, "").strip()
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-slingen",
+                        subdir)

@@ -1,0 +1,38 @@
+"""Kernel generation as a service.
+
+SLinGen is meant to be invoked once per (program, size, machine) and reused
+forever.  This package supplies the serving layer that makes that true in
+practice:
+
+* :mod:`~repro.service.keys` -- canonical, version-stamped content keys
+  over (LA program, generator options, machine model),
+* :mod:`~repro.service.store` -- a persistent, content-addressed kernel
+  store (disk backend with atomic writes, corruption-tolerant reads, LRU
+  bounds, an in-memory hot layer) behind an abstract ``KernelStore``,
+* :mod:`~repro.service.service` -- ``KernelService``: cache-first
+  generation with parallel batch misses and hit/miss/latency stats,
+* :mod:`~repro.service.registry` -- named workloads ("potrf:12",
+  "kf:8x4") mapping the paper's benchmark cases onto service requests,
+* ``python -m repro.service`` -- CLI to warm, query, inspect, and purge
+  the cache.
+"""
+
+from .keys import (KEY_SCHEMA_VERSION, cache_key, canonical_options,
+                   canonical_program, machine_fingerprint,
+                   request_fingerprint)
+from .registry import (WorkloadSpec, build_case, default_sizes, make_request,
+                       parse_spec, sweep_requests, workload_names)
+from .service import (GenerationRequest, KernelService, ServiceResponse,
+                      ServiceStats)
+from .store import (DiskKernelStore, KernelStore, MemoryKernelStore,
+                    default_cache_dir)
+
+__all__ = [
+    "KEY_SCHEMA_VERSION", "cache_key", "canonical_options",
+    "canonical_program", "machine_fingerprint", "request_fingerprint",
+    "WorkloadSpec", "build_case", "default_sizes", "make_request",
+    "parse_spec", "sweep_requests", "workload_names",
+    "GenerationRequest", "KernelService", "ServiceResponse", "ServiceStats",
+    "DiskKernelStore", "KernelStore", "MemoryKernelStore",
+    "default_cache_dir",
+]

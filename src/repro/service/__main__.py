@@ -1,0 +1,170 @@
+"""Command-line front-end of the kernel service.
+
+Usage (``PYTHONPATH=src python -m repro.service <command>``)::
+
+    warm  [SPEC ...] [--scalar] [--no-autotune] [--workers N] [--serial]
+    query SPEC ...                  # key + hit/miss, no generation
+    ls                              # list cached entries
+    stats                           # store statistics
+    purge [--yes]                   # drop every cached kernel
+
+A SPEC is ``name:size`` (``potrf:12``), ``name:sizexk`` (``kf:8x4``), or a
+bare case name, which expands to the default size sweep.  The cache root
+defaults to ``~/.cache/repro-slingen/kernels`` and can be moved with
+``--cache-dir`` or the ``REPRO_KERNEL_CACHE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..slingen.options import Options
+from .registry import sweep_requests, workload_names
+from .service import KernelService
+from .store import DiskKernelStore, default_cache_dir
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Warm, query, and purge the persistent kernel cache.")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"cache root (default: {default_cache_dir()})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    warm = sub.add_parser("warm", help="generate-and-cache workloads")
+    warm.add_argument("specs", nargs="*", metavar="SPEC",
+                      help="workloads to warm (default: all, default sizes)")
+    warm.add_argument("--scalar", action="store_true",
+                      help="generate scalar (non-vectorized) kernels")
+    warm.add_argument("--no-autotune", action="store_true",
+                      help="skip the autotuning search")
+    warm.add_argument("--max-variants", type=int, default=6)
+    warm.add_argument("--workers", type=int, default=None,
+                      help="worker pool size for misses")
+    warm.add_argument("--serial", action="store_true",
+                      help="generate misses one at a time")
+
+    query = sub.add_parser("query", help="look up workloads without "
+                                         "generating")
+    query.add_argument("specs", nargs="+", metavar="SPEC")
+    query.add_argument("--scalar", action="store_true")
+    query.add_argument("--no-autotune", action="store_true")
+    query.add_argument("--max-variants", type=int, default=6)
+
+    sub.add_parser("ls", help="list cached kernels")
+    sub.add_parser("stats", help="print store statistics")
+
+    purge = sub.add_parser("purge", help="drop every cached kernel")
+    purge.add_argument("--yes", action="store_true",
+                       help="do not ask for confirmation")
+
+    sub.add_parser("workloads", help="list registered workload names")
+    return parser
+
+
+def _options_from(args: argparse.Namespace) -> Options:
+    return Options(vectorize=not args.scalar,
+                   autotune=not args.no_autotune,
+                   max_variants=args.max_variants,
+                   annotate_code=False)
+
+
+def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    requests = sweep_requests(args.specs or None, options=options)
+    responses = service.generate_many(requests, parallel=not args.serial)
+    width = max(len(r.label or "") for r in responses)
+    for response in responses:
+        state = "hit " if response.cache_hit else "MISS"
+        perf = response.result.performance
+        print(f"{(response.label or ''):{width}s}  {state}  "
+              f"{response.latency_s * 1e3:8.1f} ms  "
+              f"{perf.flops_per_cycle:6.3f} f/c  {response.key[:12]}")
+    summary = service.stats.snapshot()
+    print(f"warmed {summary['requests']} workloads: "
+          f"{summary['hits']} hits, {summary['misses']} generated "
+          f"({summary['coalesced']} coalesced)")
+    return 0
+
+
+def _cmd_query(service: KernelService, args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    missing = 0
+    for text in args.specs:
+        # Like warm: a bare case name expands to its default size sweep.
+        for request in sweep_requests([text], options=options):
+            key = service.request_key(request)
+            meta = service.store.metadata(key)
+            if meta is None:
+                missing += 1
+                print(f"{request.label}: MISS  {key}")
+            else:
+                print(f"{request.label}: hit   {key}  "
+                      f"variant={meta.get('variant')} "
+                      f"f/c={meta.get('flops_per_cycle'):.3f}")
+    return 1 if missing else 0
+
+
+def _cmd_ls(service: KernelService) -> int:
+    keys = service.store.keys()
+    if not keys:
+        print("cache is empty")
+        return 0
+    for key in keys:
+        meta = service.store.metadata(key) or {}
+        print(f"{key[:16]}  {meta.get('label') or meta.get('program', '?'):20s}"
+              f"  {meta.get('variant', '?'):16s}"
+              f"  {meta.get('payload_bytes', 0):>8} B")
+    print(f"{len(keys)} entries")
+    return 0
+
+
+def _cmd_stats(service: KernelService) -> int:
+    print(json.dumps(service.store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_purge(service: KernelService, args: argparse.Namespace) -> int:
+    root = getattr(service.store, "root", "<store>")
+    if not args.yes:
+        reply = input(f"purge every cached kernel under {root}? [y/N] ")
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = service.store.purge()
+    print(f"purged {removed} entries")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = DiskKernelStore(root=args.cache_dir)
+    service = KernelService(store=store,
+                            max_workers=getattr(args, "workers", None))
+    try:
+        if args.command == "warm":
+            return _cmd_warm(service, args)
+        if args.command == "query":
+            return _cmd_query(service, args)
+        if args.command == "ls":
+            return _cmd_ls(service)
+        if args.command == "stats":
+            return _cmd_stats(service)
+        if args.command == "purge":
+            return _cmd_purge(service, args)
+        if args.command == "workloads":
+            print("\n".join(workload_names()))
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Canonical, version-stamped cache keys for generated kernels.
+
+A kernel is fully determined by three things:
+
+1. the LA program (operand declarations + statements, including all fixed
+   sizes),
+2. the generator configuration (:class:`~repro.slingen.options.Options`),
+3. the machine model (:class:`~repro.machine.microarch.MicroArchitecture`)
+   that drives vectorization decisions and the autotuner's timing oracle.
+
+This module serializes each of the three into a canonical form that is
+stable across processes and Python versions (no ``repr`` of floats relying
+on dict ordering, no ``id``-based content), combines them with a schema
+version stamp, and hashes the result with SHA-256.  Two requests produce
+the same key **iff** they would produce the same generated kernel; bumping
+:data:`KEY_SCHEMA_VERSION` invalidates every existing cache entry, which is
+the escape hatch whenever the generator's semantics change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Union
+
+from ..ir.expr import Const, Expr, Ref, _Binary, _Unary
+from ..ir.operands import Operand, View
+from ..ir.program import Assign, Equation, ForLoop, Program, Statement
+from ..machine.microarch import MicroArchitecture
+from ..slingen.options import Options
+
+#: Bump whenever generated code may change for an unchanged request
+#: (generator semantics, pass pipeline, C unparser, ...).
+KEY_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Canonical program serialization
+# ---------------------------------------------------------------------------
+
+
+def _canonical_view(view: View) -> str:
+    return (f"{view.operand.name}"
+            f"[{view.row_off},{view.col_off},{view.rows},{view.cols}]")
+
+
+def _canonical_expr(expr: Expr) -> str:
+    if isinstance(expr, Ref):
+        return _canonical_view(expr.view)
+    if isinstance(expr, Const):
+        return f"const({expr.value!r},{expr.rows},{expr.cols})"
+    name = type(expr).__name__.lower()
+    if isinstance(expr, _Unary):
+        return f"{name}({_canonical_expr(expr.child)})"
+    if isinstance(expr, _Binary):
+        return (f"{name}({_canonical_expr(expr.left)},"
+                f"{_canonical_expr(expr.right)})")
+    # Future node kinds: fall back to repr (deterministic for all IR nodes).
+    return repr(expr)
+
+
+def _canonical_statement(stmt: Statement) -> str:
+    if isinstance(stmt, Assign):
+        return (f"assign({_canonical_view(stmt.lhs)},"
+                f"{_canonical_expr(stmt.rhs)})")
+    if isinstance(stmt, Equation):
+        return (f"equation({_canonical_expr(stmt.lhs)},"
+                f"{_canonical_expr(stmt.rhs)})")
+    if isinstance(stmt, ForLoop):
+        body = ";".join(_canonical_statement(s) for s in stmt.body)
+        return (f"for({stmt.var},{stmt.start},{stmt.stop},{stmt.step},"
+                f"[{body}])")
+    return repr(stmt)
+
+
+def _canonical_operand(op: Operand) -> str:
+    props = op.properties
+    return (f"{op.name}:{op.rows}x{op.cols}:{op.io.name}"
+            f":{props.structure.name}/{props.storage.name}"
+            f":pd={int(props.positive_definite)}"
+            f":ns={int(props.non_singular)}"
+            f":ud={int(props.unit_diagonal)}"
+            f":ow={op.overwrites or ''}:{op.datatype}")
+
+
+def canonical_program(program: Program) -> str:
+    """A deterministic, whitespace-free text form of an LA program.
+
+    Declaration and statement order are preserved (they are part of the
+    program's identity); constants are emitted sorted by name.
+    """
+    parts = [f"program({program.name})"]
+    for name in sorted(program.constants):
+        parts.append(f"const {name}={program.constants[name]}")
+    for op in program.operands.values():
+        parts.append(f"decl {_canonical_operand(op)}")
+    for stmt in program.statements:
+        parts.append(_canonical_statement(stmt))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Options / machine canonicalization
+# ---------------------------------------------------------------------------
+
+
+def canonical_options(options: Options) -> Dict[str, object]:
+    """All option fields as a plain JSON-able dict (sorted at dump time)."""
+    return dataclasses.asdict(options)
+
+
+def machine_fingerprint(machine: MicroArchitecture) -> Dict[str, object]:
+    """All machine-model parameters as a plain JSON-able dict."""
+    return dataclasses.asdict(machine)
+
+
+# ---------------------------------------------------------------------------
+# Request fingerprint and key
+# ---------------------------------------------------------------------------
+
+
+def request_fingerprint(program: Union[Program, str],
+                        options: Optional[Options] = None,
+                        machine: Optional[MicroArchitecture] = None,
+                        nominal_flops: Optional[float] = None,
+                        constants: Optional[Dict[str, int]] = None,
+                        ) -> Dict[str, object]:
+    """The full, JSON-able identity of one generation request.
+
+    ``program`` may be a parsed :class:`Program` or raw LA source text (in
+    which case ``constants`` supplies the size bindings and the text is
+    parsed so that textual and IR requests for the same program coincide --
+    note the program *name* is part of the identity, since it names the
+    emitted C function; text requests get ``parse_program``'s default name,
+    which :meth:`GenerationRequest.from_source` also uses).
+    """
+    if isinstance(program, str):
+        from ..la import parse_program
+        program = parse_program(program, constants or {})
+    options = options or Options()
+    if machine is None:
+        from ..machine.microarch import default_machine
+        machine = default_machine()
+    return {
+        "schema": KEY_SCHEMA_VERSION,
+        "program": canonical_program(program),
+        "options": canonical_options(options),
+        "machine": machine_fingerprint(machine),
+        "nominal_flops": nominal_flops,
+    }
+
+
+def cache_key(program: Union[Program, str],
+              options: Optional[Options] = None,
+              machine: Optional[MicroArchitecture] = None,
+              nominal_flops: Optional[float] = None,
+              constants: Optional[Dict[str, int]] = None) -> str:
+    """SHA-256 content key for one (program, options, machine) request."""
+    doc = request_fingerprint(program, options, machine,
+                              nominal_flops=nominal_flops,
+                              constants=constants)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,338 @@
+"""Generation-as-a-service: cache-first kernel generation with batch fan-out.
+
+:class:`KernelService` is the front door for everything that wants generated
+kernels -- the benchmark harness, the CLI, applications.  It answers each
+request from the content-addressed store when possible and otherwise runs
+the full SLinGen pipeline, records per-request hit/miss/latency statistics,
+and fans batches of misses out over a ``concurrent.futures`` worker pool so
+a figure's whole size sweep generates in parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ServiceError
+from ..ir.program import Program
+from ..machine.microarch import MicroArchitecture, default_machine
+from ..slingen.generator import GenerationResult, SLinGen
+from ..slingen.options import Options
+from .keys import cache_key
+from .store import DiskKernelStore, KernelStore
+
+
+@dataclass
+class GenerationRequest:
+    """One unit of work for the service.
+
+    ``options`` falls back to the service's defaults; ``nominal_flops`` is
+    the mathematical operation count used for flops/cycle reporting (part of
+    the cache key, since it changes the reported performance).
+    """
+
+    program: Program
+    options: Optional[Options] = None
+    nominal_flops: Optional[float] = None
+    label: Optional[str] = None
+
+    @classmethod
+    def from_case(cls, case: object,
+                  options: Optional[Options] = None) -> "GenerationRequest":
+        """Build a request from an
+        :class:`~repro.applications.cases.BenchmarkCase`."""
+        return cls(program=case.program, options=options,
+                   nominal_flops=case.nominal_flops,
+                   label=f"{case.name}:{case.size}")
+
+    @classmethod
+    def from_source(cls, source: str, constants: Dict[str, int],
+                    name: str = "la_program",
+                    options: Optional[Options] = None,
+                    nominal_flops: Optional[float] = None
+                    ) -> "GenerationRequest":
+        """Build a request from raw LA source text.
+
+        The default ``name`` matches :func:`repro.la.parse_program`'s, so a
+        request built here and a key computed from the raw text via
+        :func:`repro.service.keys.cache_key` resolve to the same entry.
+        """
+        from ..la import parse_program
+        program = parse_program(source, constants, name=name)
+        return cls(program=program, options=options,
+                   nominal_flops=nominal_flops, label=name)
+
+
+@dataclass
+class ServiceResponse:
+    """The service's answer to one request."""
+
+    key: str
+    result: GenerationResult
+    cache_hit: bool
+    latency_s: float
+    label: Optional[str] = None
+
+
+#: How many of the most recent per-request records ServiceStats keeps;
+#: aggregate counters are unbounded, the record log is a window.
+STATS_RECORD_WINDOW = 1024
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters over the lifetime of one service instance."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    coalesced: int = 0              # duplicate keys inside one batch
+    hit_latency_s: float = 0.0
+    miss_latency_s: float = 0.0
+    records: "deque[Dict[str, object]]" = field(
+        default_factory=lambda: deque(maxlen=STATS_RECORD_WINDOW))
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def record(self, response: ServiceResponse) -> None:
+        self.requests += 1
+        if response.cache_hit:
+            self.hits += 1
+            self.hit_latency_s += response.latency_s
+        else:
+            self.misses += 1
+            self.miss_latency_s += response.latency_s
+        self.records.append({
+            "key": response.key,
+            "label": response.label,
+            "hit": response.cache_hit,
+            "latency_s": response.latency_s,
+        })
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "hit_rate": self.hit_rate,
+            "hit_latency_s": self.hit_latency_s,
+            "miss_latency_s": self.miss_latency_s,
+            "mean_hit_latency_s": (self.hit_latency_s / self.hits
+                                   if self.hits else 0.0),
+            "mean_miss_latency_s": (self.miss_latency_s / self.misses
+                                    if self.misses else 0.0),
+        }
+
+
+def _generate_payload(program: Program, options: Options,
+                      machine: MicroArchitecture,
+                      nominal_flops: Optional[float]) -> GenerationResult:
+    """Pure generation, no store access.
+
+    Module-level so it pickles, making it usable as a
+    ``ProcessPoolExecutor`` work item as well as a thread-pool one.
+    """
+    return SLinGen(options, machine=machine).generate_result(
+        program, nominal_flops=nominal_flops)
+
+
+class KernelService:
+    """Cache-first kernel generation with parallel batch misses."""
+
+    def __init__(self, store: Optional[KernelStore] = None,
+                 options: Optional[Options] = None,
+                 machine: Optional[MicroArchitecture] = None,
+                 max_workers: Optional[int] = None,
+                 executor: str = "process"):
+        """``executor`` selects the miss pool for :meth:`generate_many`:
+        ``"process"`` (default) gives true CPU parallelism for the
+        pure-Python generation pipeline; ``"thread"`` avoids process spawn
+        on platforms where that is expensive or unavailable (the GIL then
+        serializes the actual generation work).  If the process pool cannot
+        be created or dies, the batch falls back to in-process serial
+        generation rather than failing."""
+        if executor not in ("thread", "process"):
+            raise ServiceError(
+                f"executor must be 'thread' or 'process', got {executor!r}")
+        self.store = store if store is not None else DiskKernelStore()
+        self.options = (options or Options()).validate()
+        self.machine = machine or default_machine()
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.executor_kind = executor
+        self.stats = ServiceStats()
+
+    # -- keys ----------------------------------------------------------------
+
+    def _coerce(self, request: Union[GenerationRequest, Program]
+                ) -> GenerationRequest:
+        if isinstance(request, Program):
+            request = GenerationRequest(program=request, label=request.name)
+        return request
+
+    def request_key(self, request: Union[GenerationRequest, Program]) -> str:
+        """The content key this request resolves to (no generation)."""
+        request = self._coerce(request)
+        options = (request.options or self.options).validate()
+        return cache_key(request.program, options, self.machine,
+                         nominal_flops=request.nominal_flops)
+
+    # -- single requests -----------------------------------------------------
+
+    def generate(self, request: Union[GenerationRequest, Program]
+                 ) -> ServiceResponse:
+        """Answer one request, from the store when possible."""
+        request = self._coerce(request)
+        options = (request.options or self.options).validate()
+        started = time.perf_counter()
+        key = cache_key(request.program, options, self.machine,
+                        nominal_flops=request.nominal_flops)
+        result = self.store.get(key)
+        hit = result is not None
+        if result is None:
+            try:
+                result = _generate_payload(request.program, options,
+                                           self.machine,
+                                           request.nominal_flops)
+            except Exception:
+                self.stats.errors += 1
+                raise
+            self.store.put(key, result, meta={"label": request.label})
+        response = ServiceResponse(
+            key=key, result=result, cache_hit=hit,
+            latency_s=time.perf_counter() - started,
+            label=request.label or request.program.name)
+        self.stats.record(response)
+        return response
+
+    # -- batches -------------------------------------------------------------
+
+    def generate_many(self,
+                      requests: Sequence[Union[GenerationRequest, Program]],
+                      parallel: bool = True) -> List[ServiceResponse]:
+        """Answer a batch: hits served immediately, misses generated on the
+        worker pool, duplicates coalesced to one generation.
+
+        Responses come back in request order and are bitwise identical to
+        what serial :meth:`generate` calls would produce (the workers run
+        the same pure generation path).
+        """
+        coerced = [self._coerce(r) for r in requests]
+        started = [0.0] * len(coerced)
+        keys: List[str] = []
+        resolved: List[Optional[GenerationResult]] = []
+        hit_flags: List[bool] = []
+        # Hits complete during this first pass; their latency must be
+        # captured here, not when the batch's misses finish generating.
+        finished: List[Optional[float]] = []
+
+        pending: Dict[str, List[int]] = {}
+        for idx, request in enumerate(coerced):
+            started[idx] = time.perf_counter()
+            options = (request.options or self.options).validate()
+            key = cache_key(request.program, options, self.machine,
+                            nominal_flops=request.nominal_flops)
+            keys.append(key)
+            result = self.store.get(key)
+            resolved.append(result)
+            hit_flags.append(result is not None)
+            finished.append(time.perf_counter() if result is not None
+                            else None)
+            if result is None:
+                pending.setdefault(key, []).append(idx)
+
+        # One generation per unique missing key.
+        work: List[int] = []
+        for key, indices in pending.items():
+            work.append(indices[0])
+            self.stats.coalesced += len(indices) - 1
+
+        def run_one(idx: int) -> GenerationResult:
+            request = coerced[idx]
+            options = (request.options or self.options).validate()
+            return _generate_payload(request.program, options, self.machine,
+                                     request.nominal_flops)
+
+        if work:
+            produced: Optional[List[GenerationResult]] = None
+            try:
+                if parallel and len(work) > 1:
+                    workers = min(self.max_workers, len(work))
+                    if self.executor_kind == "process":
+                        try:
+                            with futures.ProcessPoolExecutor(
+                                    max_workers=workers) as pool:
+                                produced = list(pool.map(
+                                    _generate_payload,
+                                    [coerced[i].program for i in work],
+                                    [(coerced[i].options or self.options)
+                                     for i in work],
+                                    [self.machine] * len(work),
+                                    [coerced[i].nominal_flops for i in work]))
+                        except (futures.process.BrokenProcessPool, OSError,
+                                PermissionError):
+                            # Sandboxes without fork/semaphores: degrade to
+                            # serial generation instead of failing the batch.
+                            produced = None
+                    else:
+                        with futures.ThreadPoolExecutor(
+                                max_workers=workers) as pool:
+                            produced = list(pool.map(run_one, work))
+                if produced is None:
+                    produced = [run_one(idx) for idx in work]
+            except Exception:
+                self.stats.errors += 1
+                raise
+            for idx, result in zip(work, produced):
+                key = keys[idx]
+                self.store.put(key, result,
+                               meta={"label": coerced[idx].label})
+                now = time.perf_counter()
+                for dup_idx in pending[key]:
+                    resolved[dup_idx] = result
+                    finished[dup_idx] = now
+
+        responses: List[ServiceResponse] = []
+        for idx, request in enumerate(coerced):
+            result = resolved[idx]
+            if result is None:  # pragma: no cover - defensive
+                raise ServiceError(
+                    f"request {request.label or request.program.name!r} "
+                    f"was not resolved")
+            end = finished[idx] if finished[idx] is not None \
+                else time.perf_counter()
+            response = ServiceResponse(
+                key=keys[idx], result=result, cache_hit=hit_flags[idx],
+                latency_s=end - started[idx],
+                label=request.label or request.program.name)
+            self.stats.record(response)
+            responses.append(response)
+        return responses
+
+    # -- registry convenience ------------------------------------------------
+
+    def warm(self, specs: Optional[Sequence[str]] = None,
+             options: Optional[Options] = None,
+             parallel: bool = True) -> Dict[str, object]:
+        """Pre-generate the named workloads (default: every registered
+        workload at its default size sweep); returns a summary dict."""
+        from .registry import sweep_requests
+        requests = sweep_requests(specs, options=options)
+        responses = self.generate_many(requests, parallel=parallel)
+        return {
+            "warmed": len(responses),
+            "hits": sum(1 for r in responses if r.cache_hit),
+            "misses": sum(1 for r in responses if not r.cache_hit),
+            "labels": [r.label for r in responses],
+        }
+
+    def reset_stats(self) -> None:
+        self.stats = ServiceStats()

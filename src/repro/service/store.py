@@ -1,0 +1,367 @@
+"""Persistent, content-addressed storage for generated kernels.
+
+The store maps a :func:`~repro.service.keys.cache_key` to a
+:class:`~repro.slingen.generator.GenerationResult`.  Two backends ship:
+
+* :class:`MemoryKernelStore` -- a bounded in-process LRU dict, useful for
+  tests and for serving from a warm process without touching disk.
+* :class:`DiskKernelStore` -- the persistent backend.  Each entry is a
+  directory ``<root>/<key[:2]>/<key>/`` holding
+
+  - ``meta.json``   -- human-readable metadata (program, variant, cycles,
+    flops/cycle, sizes, creation time).  Written *last*, so it doubles as
+    the commit marker: an entry without valid metadata never existed.
+  - ``kernel.c``    -- the emitted single-source C, greppable on disk.
+  - ``payload.pkl`` -- the pickled :class:`GenerationResult`.
+
+  All writes go through a temp-file + ``os.replace`` dance so concurrent
+  readers never observe a torn file.  Reads are corruption-tolerant: any
+  undecodable entry is quarantined (deleted) and reported as a miss, so a
+  crashed writer or a bit-flipped cache degrades to regeneration, never to
+  an exception.  The store is size-bounded (entries and/or bytes) with
+  least-recently-used eviction, and keeps a small in-memory hot layer so
+  repeated hits in one process skip deserialization entirely.
+
+Subclass :class:`KernelStore` to add further backends (an object store, a
+memcached tier, ...) without touching the service.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import pickle
+import shutil
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..errors import StoreError
+from ..ioutil import atomic_write_bytes, cache_root
+from ..slingen.generator import GenerationResult
+
+
+def default_cache_dir() -> str:
+    """Root of the persistent kernel cache.
+
+    Overridable via ``REPRO_KERNEL_CACHE``; defaults to
+    ``~/.cache/repro-slingen/kernels``.
+    """
+    return cache_root("REPRO_KERNEL_CACHE", "kernels")
+
+
+class KernelStore(abc.ABC):
+    """Abstract mapping from content keys to generation results."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[GenerationResult]:
+        """Return the stored result, or None on a miss."""
+
+    @abc.abstractmethod
+    def put(self, key: str, result: GenerationResult,
+            meta: Optional[Dict[str, object]] = None) -> None:
+        """Store a result under ``key`` (overwriting any previous entry)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Drop one entry; returns True when it existed."""
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """All keys currently stored."""
+
+    @abc.abstractmethod
+    def metadata(self, key: str) -> Optional[Dict[str, object]]:
+        """Cheap (no-deserialization) metadata for one entry, or None."""
+
+    def contains(self, key: str) -> bool:
+        return key in self.keys()
+
+    def purge(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            if self.delete(key):
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        return {"entries": len(self.keys())}
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+def _describe(key: str, result: GenerationResult,
+              meta: Optional[Dict[str, object]]) -> Dict[str, object]:
+    doc: Dict[str, object] = {
+        "key": key,
+        "program": result.program_name,
+        "variant": result.variant_label,
+        "cycles": result.performance.cycles,
+        "flops_per_cycle": result.performance.flops_per_cycle,
+        "bottleneck": result.performance.bottleneck,
+        "candidates_evaluated": len(result.candidates),
+        "created_at": time.time(),
+    }
+    if meta:
+        doc.update(meta)
+    return doc
+
+
+class MemoryKernelStore(KernelStore):
+    """A bounded, in-process LRU store (no persistence)."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, GenerationResult]" = OrderedDict()
+        self._meta: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[GenerationResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: GenerationResult,
+            meta: Optional[Dict[str, object]] = None) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        self._meta[key] = _describe(key, result, meta)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._meta.pop(evicted, None)
+                self.evictions += 1
+
+    def delete(self, key: str) -> bool:
+        self._meta.pop(key, None)
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def metadata(self, key: str) -> Optional[Dict[str, object]]:
+        return self._meta.get(key)
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": "memory", "entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class DiskKernelStore(KernelStore):
+    """The persistent disk backend (see module docstring for the layout)."""
+
+    META_NAME = "meta.json"
+    CODE_NAME = "kernel.c"
+    PAYLOAD_NAME = "payload.pkl"
+
+    def __init__(self, root: Optional[str] = None,
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 hot_capacity: int = 32):
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hot_capacity = max(0, hot_capacity)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot create kernel cache root {self.root!r}: {exc}")
+        self._hot: "OrderedDict[str, GenerationResult]" = OrderedDict()
+        self.hot_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt_dropped = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key)
+
+    # -- hot layer -----------------------------------------------------------
+
+    def _hot_insert(self, key: str, result: GenerationResult) -> None:
+        if self.hot_capacity == 0:
+            return
+        self._hot[key] = result
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+
+    # -- KernelStore API -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[GenerationResult]:
+        hot = self._hot.get(key)
+        if hot is not None:
+            self._hot.move_to_end(key)
+            self.hot_hits += 1
+            # Keep the on-disk LRU clock honest: without this, an entry
+            # served only from the hot layer looks idle to _evict() and the
+            # most-used kernels would be evicted first on bounded stores.
+            try:
+                os.utime(os.path.join(self._entry_dir(key), self.META_NAME))
+            except OSError:
+                pass
+            return hot
+
+        entry = self._entry_dir(key)
+        meta_path = os.path.join(entry, self.META_NAME)
+        payload_path = os.path.join(entry, self.PAYLOAD_NAME)
+        if not os.path.exists(meta_path):
+            self.misses += 1
+            return None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                json.load(handle)
+            with open(payload_path, "rb") as handle:
+                result = pickle.load(handle)
+            if not isinstance(result, GenerationResult):
+                raise TypeError(
+                    f"payload is {type(result).__name__}, "
+                    f"expected GenerationResult")
+        except Exception:
+            # Torn write, truncated pickle, schema drift: quarantine the
+            # entry and treat it as a miss so the caller regenerates.
+            self._drop_entry(key)
+            self.corrupt_dropped += 1
+            self.misses += 1
+            return None
+        # Touch the metadata so LRU eviction sees the access.
+        try:
+            os.utime(meta_path)
+        except OSError:
+            pass
+        self._hot_insert(key, result)
+        self.disk_hits += 1
+        return result
+
+    def put(self, key: str, result: GenerationResult,
+            meta: Optional[Dict[str, object]] = None) -> None:
+        entry = self._entry_dir(key)
+        os.makedirs(entry, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        doc = _describe(key, result, meta)
+        doc["payload_bytes"] = len(payload)
+        doc["schema"] = _schema_version()
+        atomic_write_bytes(os.path.join(entry, self.CODE_NAME),
+                           result.c_code.encode("utf-8"))
+        atomic_write_bytes(os.path.join(entry, self.PAYLOAD_NAME), payload)
+        # meta.json last: it is the commit marker.
+        atomic_write_bytes(
+            os.path.join(entry, self.META_NAME),
+            json.dumps(doc, indent=2, sort_keys=True).encode("utf-8"))
+        self._hot_insert(key, result)
+        self._evict()
+
+    def delete(self, key: str) -> bool:
+        existed = os.path.exists(
+            os.path.join(self._entry_dir(key), self.META_NAME))
+        self._drop_entry(key)
+        return existed
+
+    def _drop_entry(self, key: str) -> None:
+        self._hot.pop(key, None)
+        shutil.rmtree(self._entry_dir(key), ignore_errors=True)
+
+    def keys(self) -> List[str]:
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for key in sorted(os.listdir(shard_dir)):
+                if os.path.exists(os.path.join(shard_dir, key,
+                                               self.META_NAME)):
+                    found.append(key)
+        return found
+
+    def metadata(self, key: str) -> Optional[Dict[str, object]]:
+        meta_path = os.path.join(self._entry_dir(key), self.META_NAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def purge(self) -> int:
+        count = len(self.keys())
+        self._hot.clear()
+        for shard in os.listdir(self.root):
+            shutil.rmtree(os.path.join(self.root, shard), ignore_errors=True)
+        return count
+
+    # -- eviction ------------------------------------------------------------
+
+    def _entry_bytes(self, key: str) -> int:
+        entry = self._entry_dir(key)
+        total = 0
+        try:
+            for name in os.listdir(entry):
+                total += os.path.getsize(os.path.join(entry, name))
+        except OSError:
+            pass
+        return total
+
+    def _evict(self) -> None:
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        keys = self.keys()
+        # Oldest access first (meta.json mtime is refreshed on every hit).
+        def mtime(key: str) -> float:
+            try:
+                return os.path.getmtime(
+                    os.path.join(self._entry_dir(key), self.META_NAME))
+            except OSError:
+                return 0.0
+        keys.sort(key=mtime)
+        total_bytes = sum(self._entry_bytes(k) for k in keys) \
+            if self.max_bytes is not None else 0
+        while keys:
+            over_entries = (self.max_entries is not None
+                            and len(keys) > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and total_bytes > self.max_bytes)
+            if not over_entries and not over_bytes:
+                break
+            victim = keys.pop(0)
+            if self.max_bytes is not None:
+                total_bytes -= self._entry_bytes(victim)
+            self._drop_entry(victim)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, object]:
+        keys = self.keys()
+        total = sum(self._entry_bytes(k) for k in keys)
+        return {
+            "backend": "disk",
+            "root": self.root,
+            "entries": len(keys),
+            "bytes": total,
+            "hot_entries": len(self._hot),
+            "hot_hits": self.hot_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
+
+
+def _schema_version() -> int:
+    from .keys import KEY_SCHEMA_VERSION
+    return KEY_SCHEMA_VERSION

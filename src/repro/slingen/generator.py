@@ -16,7 +16,6 @@ the performance estimate, and enough metadata to reproduce the choice.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -58,8 +57,65 @@ class Candidate:
 
 
 @dataclass
+class GenerationResult:
+    """The pure, picklable output of one SLinGen run.
+
+    This is the artifact the kernel service stores and serves: everything a
+    client needs to *use* the generated kernel (C-IR function, emitted C,
+    performance estimate, provenance) with no back-reference to the request
+    ``Program`` object, so results round-trip through pickle and across
+    worker processes.
+    """
+
+    program_name: str
+    function: Function
+    c_code: str
+    performance: PerformanceEstimate
+    options: Options
+    variant_label: str
+    candidates: List[Dict[str, object]] = field(default_factory=list)
+    database_stats: Dict[str, int] = field(default_factory=dict)
+    basic_program: Optional[Program] = None
+    pass_report: Optional[PassReport] = None
+    rewrite_report: Optional[RewriteReport] = None
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the generated kernel on numpy inputs (via the C-IR
+        interpreter)."""
+        return Interpreter(self.function).run(inputs)
+
+    def compile_and_run(self, inputs: Dict[str, np.ndarray],
+                        cache_key: Optional[str] = None
+                        ) -> Dict[str, np.ndarray]:
+        """Compile the emitted C with the system compiler and execute it.
+
+        ``cache_key`` (the service's content hash) enables shared-object
+        reuse across calls via the backend object cache.
+        """
+        from ..backend.compile import compile_kernel
+        kernel = compile_kernel(self.c_code, self.function,
+                                cache_key=cache_key)
+        return kernel.run(inputs)
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.performance.flops_per_cycle
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "program": self.program_name,
+            "variant": self.variant_label,
+            "cycles": self.performance.cycles,
+            "flops_per_cycle": self.performance.flops_per_cycle,
+            "bottleneck": self.performance.bottleneck,
+            "statements": self.function.statement_count(),
+            "candidates_evaluated": len(self.candidates),
+        }
+
+
+@dataclass
 class GeneratedCode:
-    """The output of one SLinGen run."""
+    """The output of one SLinGen run (bound to the request ``Program``)."""
 
     program: Program
     basic_program: Program
@@ -72,6 +128,23 @@ class GeneratedCode:
     pass_report: Optional[PassReport] = None
     rewrite_report: Optional[RewriteReport] = None
     database_stats: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, program: Program,
+                    result: GenerationResult) -> "GeneratedCode":
+        """Re-bind a (possibly cached) pure result to its request program."""
+        return cls(
+            program=program,
+            basic_program=result.basic_program,
+            function=result.function,
+            c_code=result.c_code,
+            performance=result.performance,
+            options=result.options,
+            variant_label=result.variant_label,
+            candidates=result.candidates,
+            pass_report=result.pass_report,
+            rewrite_report=result.rewrite_report,
+            database_stats=result.database_stats)
 
     def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Execute the generated kernel on numpy inputs (via the C-IR
@@ -105,16 +178,53 @@ class SLinGen:
     """Program generator for small-scale linear algebra applications."""
 
     def __init__(self, options: Optional[Options] = None,
-                 machine: Optional[MicroArchitecture] = None):
+                 machine: Optional[MicroArchitecture] = None,
+                 store: Optional[object] = None):
+        """``store`` (a :class:`repro.service.store.KernelStore`) makes the
+        generator consult and populate the persistent kernel cache on every
+        ``generate``/``generate_result`` call."""
         self.options = options or Options()
         self.machine = machine or default_machine()
+        self.store = store
 
     # -- public API -------------------------------------------------------------
 
     def generate(self, program: Program,
                  nominal_flops: Optional[float] = None) -> GeneratedCode:
         """Generate optimized code for an LA program."""
+        result = self.generate_result(program, nominal_flops=nominal_flops)
+        return GeneratedCode.from_result(program, result)
+
+    def generate_result(self, program: Program,
+                        nominal_flops: Optional[float] = None
+                        ) -> GenerationResult:
+        """Generate code for an LA program, returning the pure
+        :class:`GenerationResult` (no reference back to ``program``).
+
+        This is the path the kernel service calls: the result pickles
+        cleanly, so it can cross process boundaries and live in the
+        persistent store.  When the generator was constructed with a
+        ``store``, the store is consulted first and populated on a miss.
+        """
         program.validate()
+        self.options.validate()
+
+        key: Optional[str] = None
+        if self.store is not None:
+            from ..service.keys import cache_key
+            key = cache_key(program, self.options, self.machine,
+                            nominal_flops=nominal_flops)
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached
+
+        result = self._generate_uncached(program, nominal_flops)
+        if self.store is not None and key is not None:
+            self.store.put(key, result)
+        return result
+
+    def _generate_uncached(self, program: Program,
+                           nominal_flops: Optional[float]) -> GenerationResult:
         options = self.options
         database = AlgorithmDatabase()
         block_size = options.effective_block_size
@@ -141,29 +251,26 @@ class SLinGen:
         # code-generation settings.
         default_codegen = codegen_variants[0]
         for choice in stage1_choices:
-            candidate = self._build_candidate(program, choice, default_codegen,
-                                              database, block_size,
-                                              nominal_flops)
-            candidates.append(candidate)
+            candidates.append(self._build_candidate(
+                program, choice, default_codegen, database, block_size,
+                nominal_flops))
         best = min(candidates, key=lambda c: c.cycles)
 
         # Phase 2: explore code-generation variants for the best algorithm.
         for codegen in codegen_variants[1:]:
             if len(candidates) >= options.max_variants:
                 break
-            candidate = self._build_candidate(program,
-                                              best.stage1.variant_choices,
-                                              codegen, database, block_size,
-                                              nominal_flops)
-            candidates.append(candidate)
+            candidates.append(self._build_candidate(
+                program, best.stage1.variant_choices, codegen, database,
+                block_size, nominal_flops))
         best = min(candidates, key=lambda c: c.cycles)
 
         if not candidates:
             raise AutotuningError("no candidate implementation was generated")
 
         c_code = unparse_function(best.function)
-        return GeneratedCode(
-            program=program,
+        return GenerationResult(
+            program_name=program.name,
             basic_program=best.stage1.program,
             function=best.function,
             c_code=c_code,
@@ -176,9 +283,9 @@ class SLinGen:
                 "flops_per_cycle": c.estimate.flops_per_cycle,
                 "bottleneck": c.estimate.bottleneck,
             } for c in candidates],
+            database_stats=database.stats(),
             pass_report=best.pass_report,
             rewrite_report=best.rewrite_report,
-            database_stats=database.stats(),
         )
 
     # -- internals ----------------------------------------------------------------

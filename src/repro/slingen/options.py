@@ -48,6 +48,38 @@ class Options:
     annotate_code: bool = True
     function_name: Optional[str] = None
 
+    def validate(self) -> "Options":
+        """Check option consistency; raises
+        :class:`~repro.errors.ConfigurationError` on invalid settings.
+
+        Called at the top of :meth:`SLinGen.generate`, and by the kernel
+        service before a request is hashed into a cache key (an invalid
+        configuration must never be cached).  Returns ``self`` for chaining.
+        """
+        from ..errors import ConfigurationError
+
+        if self.vector_width < 1:
+            raise ConfigurationError(
+                f"vector_width must be >= 1, got {self.vector_width}")
+        if self.block_size is not None and self.block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be positive when set, got {self.block_size}")
+        if self.max_variants < 1:
+            raise ConfigurationError(
+                f"max_variants must be >= 1, got {self.max_variants}")
+        if self.unroll_trip_count < 1:
+            raise ConfigurationError(
+                f"unroll_trip_count must be >= 1, got {self.unroll_trip_count}")
+        if self.unroll_body_limit < 1:
+            raise ConfigurationError(
+                f"unroll_body_limit must be >= 1, got {self.unroll_body_limit}")
+        if self.function_name is not None \
+                and not self.function_name.isidentifier():
+            raise ConfigurationError(
+                f"function_name must be a valid C identifier, "
+                f"got {self.function_name!r}")
+        return self
+
     @property
     def effective_vector_width(self) -> int:
         return self.vector_width if self.vectorize else 1

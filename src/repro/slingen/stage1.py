@@ -79,7 +79,8 @@ def synthesize_basic_program(program: Program, block_size: int,
     for operand in program.operands.values():
         basic.operands[operand.name] = operand
 
-    synthesizer = Synthesizer(basic, block_size)
+    synthesizer = Synthesizer(basic, block_size,
+                              counter=database.temp_counter)
     chosen: Dict[int, str] = {}
     sites: List[HlacSite] = []
 

@@ -81,3 +81,45 @@ class TestCompileAndRun:
         outputs = generated.compile_and_run(inputs)
         expected = case.reference_outputs(inputs)
         np.testing.assert_allclose(outputs["X"], expected["X"], atol=1e-7)
+
+
+class TestFindCompiler:
+    def test_cc_environment_variable_wins(self, tmp_path, monkeypatch):
+        fake = tmp_path / "my-super-cc"
+        fake.write_text("#!/bin/sh\nexit 0\n")
+        fake.chmod(0o755)
+        monkeypatch.setenv("CC", str(fake))
+        from repro.backend.compile import find_c_compiler
+        assert find_c_compiler() == str(fake)
+
+    def test_unusable_cc_falls_back_to_probing(self, monkeypatch):
+        monkeypatch.setenv("CC", "/definitely/not/a/compiler")
+        from repro.backend.compile import find_c_compiler
+        found = find_c_compiler()
+        # Falls back to cc/gcc/clang probing; never returns the bogus CC.
+        assert found != "/definitely/not/a/compiler"
+
+    def test_empty_cc_ignored(self, monkeypatch):
+        monkeypatch.setenv("CC", "   ")
+        from repro.backend.compile import find_c_compiler
+        assert find_c_compiler() != "   "
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler")
+class TestObjectCache:
+    def test_compile_kernel_reuses_cached_object(self, tmp_path):
+        func = _simple_scalar_function()
+        code = unparse_function(func)
+        first = compile_kernel(code, func, cache_key="k" * 64,
+                               cache_dir=str(tmp_path))
+        assert first.library_path.startswith(str(tmp_path))
+        # Second compile with the same key must reuse the same .so path.
+        second = compile_kernel(code, func, cache_key="k" * 64,
+                                cache_dir=str(tmp_path))
+        assert second.library_path == first.library_path
+        result = second.run({"a": np.array([[1.0, 2.0, 3.0, 4.0]])})
+        np.testing.assert_allclose(result["out"], [[2.0, 4.0, 6.0, 8.0]])
+        # Different key -> different cached object.
+        third = compile_kernel(code, func, cache_key="x" * 64,
+                               cache_dir=str(tmp_path))
+        assert third.library_path != first.library_path
