@@ -12,6 +12,7 @@ from conftest import write_series
 from repro.applications import make_case
 from repro.bench import measure_slingen
 from repro.slingen import Options
+from repro.tuning import Autotuner, TuningDB, tuning_key
 
 
 def _cycles(case, service=None, **kwargs):
@@ -77,6 +78,49 @@ def test_ablation_autotune(benchmark, results_dir, kernel_service):
     write_series(results_dir, "ablation_autotune", table)
     print("\n" + table)
     assert tuned <= untuned
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_model_vs_tuned(benchmark, results_dir, kernel_service,
+                                 tmp_path):
+    """Model-picked vs. empirically tuned variant selection.
+
+    The interpreter measurement backend keeps this deterministic and
+    compiler-free; the tuned column can only improve on the default
+    configuration because every strategy scores the default point first.
+    """
+    case = make_case("potrf", 12)
+    tuner = Autotuner(db=TuningDB(root=str(tmp_path / "tuning")),
+                      machine=kernel_service.machine,
+                      measurer="interpreter", strategy="hill-climb",
+                      budget=8, seed=0)
+
+    def build():
+        model_picked, _, _ = measure_slingen(
+            case, Options(autotune=True, max_variants=8,
+                          annotate_code=False),
+            service=kernel_service)
+        tuned, _, _ = measure_slingen(
+            case, Options(autotune=True, max_variants=8,
+                          annotate_code=False),
+            service=kernel_service, tuner=tuner)
+        return model_picked, tuned
+
+    model_picked, tuned = benchmark.pedantic(build, rounds=1, iterations=1)
+    record = tuner.db.get(tuning_key(case.program, tuner.machine))
+    assert record is not None
+    assert record.best_score <= record.baseline_score
+    table = (f"[ablation-tuning] potrf n=12 ({record.backend} backend, "
+             f"{record.strategy}, budget {record.budget}):\n"
+             f"  model-picked : {model_picked.variant_label:28s} "
+             f"{model_picked.performance.cycles:8.0f} model-cycles\n"
+             f"  empirical    : {tuned.variant_label:28s} "
+             f"{tuned.performance.cycles:8.0f} model-cycles, "
+             f"measured {record.best_score:.6g} {record.unit} "
+             f"(baseline {record.baseline_score:.6g}, "
+             f"x{record.improvement:.3f})")
+    write_series(results_dir, "ablation_tuning", table)
+    print("\n" + table)
 
 
 @pytest.mark.benchmark(group="ablation")

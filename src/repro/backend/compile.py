@@ -53,29 +53,74 @@ class CompiledKernel:
     library_path: str
     _library: ctypes.CDLL
 
-    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Execute the compiled kernel on numpy inputs (copies, like the
-        interpreter)."""
+    def _symbol(self):
         symbol = getattr(self._library, self.function.name)
         symbol.restype = None
-        buffers: Dict[str, np.ndarray] = {}
-        arguments: List[ctypes.c_void_p] = []
+        return symbol
+
+    def _prepare_buffers(self, inputs: Dict[str, np.ndarray]
+                         ) -> "tuple[List[np.ndarray], List[object]]":
+        """Working arrays (one per parameter, input values copied in) and
+        the matching ctypes argument pointers."""
+        buffers: List[np.ndarray] = []
+        arguments: List[object] = []
         for buf in self.function.params:
             if buf.name in inputs:
                 array = np.ascontiguousarray(
                     np.asarray(inputs[buf.name], dtype=np.float64).reshape(
-                        buf.rows, buf.cols))
-                array = array.copy()
+                        buf.rows, buf.cols)).copy()
             elif buf.kind == "out":
                 array = np.zeros((buf.rows, buf.cols), dtype=np.float64)
             else:
                 raise BackendError(f"missing input buffer {buf.name!r}")
-            buffers[buf.name] = array
+            buffers.append(array)
             arguments.append(array.ctypes.data_as(
                 ctypes.POINTER(ctypes.c_double)))
-        symbol(*arguments)
-        return {buf.name: buffers[buf.name]
-                for buf in self.function.params if buf.writable}
+        return buffers, arguments
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the compiled kernel on numpy inputs (copies, like the
+        interpreter)."""
+        buffers, arguments = self._prepare_buffers(inputs)
+        self._symbol()(*arguments)
+        return {buf.name: array
+                for buf, array in zip(self.function.params, buffers)
+                if buf.writable}
+
+    def time(self, inputs: Dict[str, np.ndarray], repeats: int = 9,
+             warmup: int = 2, inner: int = 32) -> List[float]:
+        """Time the kernel: ``repeats`` samples of seconds-per-call.
+
+        Buffers and argument pointers are prepared once; each sample times
+        a batch of ``inner`` calls (small kernels finish well below the
+        timer resolution) and reports the mean call time.  Writable buffers
+        are restored from pristine copies before every call -- inside the
+        timed region, so the (constant) restore cost is identical across
+        candidate kernels and cancels in comparisons -- keeping iterative
+        kernels like factorizations numerically sane across calls.  The
+        first ``warmup`` batches are run but not recorded (icache, branch
+        predictors, frequency ramp-up).
+        """
+        import time as _time
+
+        symbol = self._symbol()
+        work, arguments = self._prepare_buffers(inputs)
+        pristine: List[Optional[np.ndarray]] = [
+            array.copy() if buf.writable else None
+            for buf, array in zip(self.function.params, work)]
+
+        def run_batch() -> float:
+            started = _time.perf_counter()
+            for _ in range(inner):
+                for array, original in zip(work, pristine):
+                    if original is not None:
+                        array[...] = original
+                symbol(*arguments)
+            return (_time.perf_counter() - started) / inner
+
+        for _ in range(warmup):
+            run_batch()
+        return [run_batch() for _ in range(repeats)]
 
 
 def default_object_cache_dir() -> str:
@@ -150,6 +195,10 @@ def compile_kernel(c_code: str, function: Function,
         os.makedirs(os.path.dirname(cached_path), exist_ok=True)
         atomic_publish(library_path, cached_path)
         library_path = cached_path
+        if keep_dir is None:
+            # The shared object now lives in the cache; the scratch dir
+            # would otherwise accumulate one orphan per compilation.
+            shutil.rmtree(workdir, ignore_errors=True)
 
     library = ctypes.CDLL(library_path)
     return CompiledKernel(function=function, library_path=library_path,

@@ -119,14 +119,23 @@ def generator_options(vectorize: bool = True, autotune: bool = True,
 
 def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
                     machine: Optional[MicroArchitecture] = None,
-                    validate: bool = False, service=None):
+                    validate: bool = False, service=None, tuner=None):
     """Generate code for one case and return (result, f/c, correct?).
 
     With a :class:`~repro.service.service.KernelService` as ``service``,
     generation goes through the persistent kernel cache (the service's
     machine model wins over ``machine``), so repeated sizes across figures
     and re-runs of a suite are cache hits instead of full pipeline runs.
+
+    With an :class:`~repro.tuning.tuner.Autotuner` as ``tuner``, the case
+    is empirically tuned first (idempotent when the tuner has a database)
+    and generation uses the tuned-best options, so a figure can report the
+    model-picked and the measurement-picked kernel side by side.
     """
+    if tuner is not None:
+        _check_tuner_machine(tuner, service, machine)
+        options = tuner.tuned_options_for_case(
+            case, options or generator_options())
     if service is not None:
         from ..service.service import GenerationRequest
         generated = service.generate(GenerationRequest.from_case(
@@ -138,6 +147,19 @@ def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
             case.program, nominal_flops=case.nominal_flops)
     correct = check_case(case, generated) if validate else None
     return generated, generated.performance.flops_per_cycle, correct
+
+
+def _check_tuner_machine(tuner, service, machine) -> None:
+    """Tuning records are keyed by the tuner's machine model; measuring
+    against one machine and generating for another silently produces
+    never-found (and wrongly tuned) records, so mismatches are an error."""
+    target = service.machine if service is not None \
+        else (machine or default_machine())
+    if tuner.machine != target:
+        from ..errors import AutotuningError
+        raise AutotuningError(
+            "tuner and service/benchmark use different machine models; "
+            "construct the Autotuner with machine=service.machine")
 
 
 def check_case(case: BenchmarkCase, generated) -> bool:
@@ -161,26 +183,37 @@ def run_series(case_name: str, sizes: Sequence[int],
                options: Optional[Options] = None,
                machine: Optional[MicroArchitecture] = None,
                baselines: Optional[List[str]] = None,
-               validate: bool = False, service=None) -> Series:
+               validate: bool = False, service=None,
+               tuner=None) -> Series:
     """Run one figure: SLinGen + all baselines over a size sweep.
 
     ``service`` (a :class:`~repro.service.service.KernelService`) routes
     all generation through the kernel cache; misses for the whole sweep are
-    generated in parallel up front via :meth:`generate_many`.
+    generated in parallel up front via :meth:`generate_many`.  ``tuner``
+    (an :class:`~repro.tuning.tuner.Autotuner`) swaps the model-picked
+    options for each case's empirically tuned ones first.  Note that on a
+    cold tuning database this runs one full (serial) tuning search per
+    case before the batch generation -- empirical measurements cannot
+    safely run concurrently on one machine anyway; pre-tune with
+    ``python -m repro.tuning tune`` to make this step a database lookup.
     """
     machine = service.machine if service is not None \
         else (machine or default_machine())
+    if tuner is not None:
+        _check_tuner_machine(tuner, service, machine)
     series = Series(name=case_name)
     cases = [case_factory(size) if case_factory else make_case(case_name,
                                                                size)
              for size in sizes]
+    base_options = options or generator_options()
     if service is not None:
         # One batch request for the sweep: hits come from the store, every
         # miss generates on the service's worker pool.
         from ..service.service import GenerationRequest
         responses = service.generate_many([
-            GenerationRequest.from_case(c, options=options
-                                        or generator_options())
+            GenerationRequest.from_case(
+                c, options=(tuner.tuned_options_for_case(c, base_options)
+                            if tuner is not None else base_options))
             for c in cases])
         results = [r.result for r in responses]
     else:
@@ -192,7 +225,7 @@ def run_series(case_name: str, sizes: Sequence[int],
             correct = check_case(case, generated) if validate else None
         else:
             generated, ours, correct = measure_slingen(case, options, machine,
-                                                       validate)
+                                                       validate, tuner=tuner)
         performance = {"slingen": ours}
         cycles = {"slingen": generated.performance.cycles}
         for baseline in (baselines if baselines is not None

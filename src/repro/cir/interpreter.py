@@ -31,6 +31,11 @@ class Interpreter:
 
     def __init__(self, function: Function):
         self.function = function
+        #: Dynamic operation count of the last :meth:`run`: one unit per
+        #: expression node evaluated plus one per store executed.  The
+        #: autotuner's interpreter backend uses it as a deterministic,
+        #: compiler-free cost measurement.
+        self.executed_ops = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -77,6 +82,7 @@ class Interpreter:
 
         env: Dict[str, Value] = {}
         self._storage = storage
+        self.executed_ops = 0
         self._exec_block(self.function.body, env, {})
 
         outputs: Dict[str, np.ndarray] = {}
@@ -104,6 +110,7 @@ class Interpreter:
             env[stmt.dest.name] = self._eval(stmt.value, env, indices)
             return
         if isinstance(stmt, Store):
+            self.executed_ops += 1
             buf = self._buffer_array(stmt.buffer)
             idx = stmt.index.evaluate(indices)
             self._check_index(stmt.buffer, idx, 1)
@@ -111,6 +118,7 @@ class Interpreter:
                                                         indices)))
             return
         if isinstance(stmt, VStore):
+            self.executed_ops += 1
             buf = self._buffer_array(stmt.buffer)
             idx = stmt.index.evaluate(indices)
             value = self._as_vector(self._eval(stmt.value, env, indices),
@@ -137,6 +145,7 @@ class Interpreter:
 
     def _eval(self, expr: CExpr, env: Dict[str, Value],
               indices: Dict[str, int]) -> Value:
+        self.executed_ops += 1
         if isinstance(expr, FloatConst):
             return float(expr.value)
         if isinstance(expr, (ScalarVar, VecVar)):

@@ -86,3 +86,12 @@ class MachineModelError(ReproError):
 
 class AutotuningError(ReproError):
     """Raised when autotuning cannot find any working candidate."""
+
+
+class MeasurementError(AutotuningError):
+    """Raised when an empirical measurement backend cannot score a kernel
+    (no compiler, failed timing run, unknown backend name)."""
+
+
+class TuningDBError(AutotuningError):
+    """Raised on unrecoverable tuning-database failures (unusable root)."""

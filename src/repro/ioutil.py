@@ -10,6 +10,47 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
+from typing import Generic, Optional, TypeVar
+
+_V = TypeVar("_V")
+
+
+class LruMap(Generic[_V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    The in-memory hot layer shared by the persistent caches
+    (:class:`repro.service.store.DiskKernelStore`,
+    :class:`repro.tuning.db.TuningDB`): capacity 0 disables it entirely.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = max(0, capacity)
+        self._entries: "OrderedDict[str, _V]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[_V]:
+        """The cached value (refreshing its recency), or None."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def insert(self, key: str, value: _V) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def pop(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:

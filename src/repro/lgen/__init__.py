@@ -6,7 +6,7 @@ from .normalize import (CanonicalOp, MatMulOp, Normalizer, ScalarAssignOp,
                         ScalarCoeff, ScaleCopyOp, TempAllocator,
                         push_down_transposes)
 from .nu_blacs import NU_BLACS, NuBlac, find_nu_blac
-from .tiling import CodegenVariant, candidate_variants
+from .tiling import CodegenVariant, candidate_variants, dedupe_resolved
 
 __all__ = [
     "CompileStats", "lower_program", "lower_program_with_stats",
@@ -14,5 +14,5 @@ __all__ = [
     "CanonicalOp", "MatMulOp", "Normalizer", "ScalarAssignOp", "ScalarCoeff",
     "ScaleCopyOp", "TempAllocator", "push_down_transposes",
     "NU_BLACS", "NuBlac", "find_nu_blac",
-    "CodegenVariant", "candidate_variants",
+    "CodegenVariant", "candidate_variants", "dedupe_resolved",
 ]

@@ -4,43 +4,73 @@ LGen explores different tiling decisions for each sBLAC (paper Fig. 2,
 "performance evaluation and search").  In this reproduction the searchable
 code-generation knobs are collected in :class:`CodegenVariant`: the vector
 width (scalar vs. AVX), the unrolling thresholds applied by the Stage-3
-passes, whether the shuffle-based transpose codelet is used, and whether the
-load/store analysis runs.  :func:`candidate_variants` enumerates the space
-searched by the autotuner.
+passes, whether the shuffle-based transpose codelet is used, whether the
+load/store analysis and scalar replacement run, and the Stage-1 blocking
+factor.  :func:`candidate_variants` enumerates the space searched by the
+autotuner; its order is deterministic (a pure function of its arguments),
+which the tuning database relies on for reproducible records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterator, List
+from dataclasses import dataclass, fields, replace
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)
 class CodegenVariant:
-    """One point of the code-generation search space."""
+    """One point of the code-generation search space.
+
+    ``block_size=None`` means "use the generator options' default blocking
+    factor"; an integer overrides it for Stage-1 synthesis.  The boolean
+    toggles compose with the corresponding :class:`Options` flags by
+    conjunction, so a variant can only switch an optimization *off* relative
+    to the requested configuration, never force one the user disabled.
+    """
 
     vector_width: int = 4
     unroll_trip_count: int = 8
     unroll_body_limit: int = 64
     use_shuffle_transpose: bool = True
     load_store_analysis: bool = True
+    block_size: Optional[int] = None
+    scalar_replacement: bool = True
 
     @property
     def label(self) -> str:
         kind = "avx" if self.vector_width > 1 else "scalar"
         return (f"{kind}-u{self.unroll_trip_count}"
                 f"{'-lsa' if self.load_store_analysis else ''}"
-                f"{'' if self.use_shuffle_transpose else '-noshuf'}")
+                f"{'' if self.use_shuffle_transpose else '-noshuf'}"
+                f"{f'-b{self.block_size}' if self.block_size else ''}"
+                f"{'' if self.scalar_replacement else '-nosr'}")
+
+    def differing_fields(self, other: "CodegenVariant") -> int:
+        """Number of knobs on which two variants disagree (the structural
+        distance used by the hill-climbing neighborhood)."""
+        return sum(1 for f in fields(self)
+                   if getattr(self, f.name) != getattr(other, f.name))
+
+
+#: Stage-1 blocking factors explored by the widened search (the options
+#: default -- ``None`` -- is always the first point of the space).
+DEFAULT_BLOCK_SIZES: Sequence[int] = (2, 8)
 
 
 def candidate_variants(vectorize: bool = True,
-                       search_unrolling: bool = True) -> List[CodegenVariant]:
+                       search_unrolling: bool = True,
+                       search_block_sizes: bool = True,
+                       search_scalar_replacement: bool = True,
+                       block_sizes: Optional[Sequence[int]] = None
+                       ) -> List[CodegenVariant]:
     """Enumerate code-generation variants for the autotuner.
 
-    The default space is intentionally small (a handful of points): the
-    dominant performance decisions at this scale are vectorization and
-    unrolling, and each candidate requires generating and evaluating a full
-    kernel.
+    The space is intentionally small (each point costs a full kernel
+    generation): the dominant decisions at this scale are vectorization,
+    unrolling, the Stage-1 blocking factor, and scalar replacement.  The
+    enumeration order is deterministic -- the default configuration first,
+    then one axis varied at a time -- so tuning records that store variant
+    indices or labels reproduce across runs.
     """
     base = CodegenVariant(vector_width=4 if vectorize else 1)
     variants = [base]
@@ -51,10 +81,37 @@ def candidate_variants(vectorize: bool = True,
                                 unroll_body_limit=128))
     if vectorize:
         variants.append(replace(base, use_shuffle_transpose=False))
+    if search_block_sizes:
+        for block in (block_sizes if block_sizes is not None
+                      else DEFAULT_BLOCK_SIZES):
+            variants.append(replace(base, block_size=int(block)))
+    if search_scalar_replacement:
+        variants.append(replace(base, scalar_replacement=False))
     seen = set()
     unique: List[CodegenVariant] = []
     for variant in variants:
         if variant not in seen:
             unique.append(variant)
             seen.add(variant)
+    return unique
+
+
+def dedupe_resolved(variants: Sequence[CodegenVariant],
+                    default_block_size: int) -> List[CodegenVariant]:
+    """Drop variants that are redundant once ``block_size=None`` resolves.
+
+    A variant with an explicit ``block_size`` equal to the configuration's
+    effective default builds the exact same kernel as its ``None``
+    counterpart; evaluating both wastes search budget and pollutes the
+    trial log with duplicate points.  Order-stable (first occurrence wins),
+    so enumeration stays deterministic.
+    """
+    seen = set()
+    unique: List[CodegenVariant] = []
+    for variant in variants:
+        resolved = replace(
+            variant, block_size=variant.block_size or default_block_size)
+        if resolved not in seen:
+            unique.append(variant)
+            seen.add(resolved)
     return unique

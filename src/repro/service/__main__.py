@@ -12,6 +12,10 @@ A SPEC is ``name:size`` (``potrf:12``), ``name:sizexk`` (``kf:8x4``), or a
 bare case name, which expands to the default size sweep.  The cache root
 defaults to ``~/.cache/repro-slingen/kernels`` and can be moved with
 ``--cache-dir`` or the ``REPRO_KERNEL_CACHE`` environment variable.
+
+The global flags ``--tuned`` / ``--tuning-db DIR`` (before the command:
+``python -m repro.service --tuned warm potrf:4``) make the service consult
+the persistent tuning database and generate with tuned-best options.
 """
 
 from __future__ import annotations
@@ -34,6 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Warm, query, and purge the persistent kernel cache.")
     parser.add_argument("--cache-dir", default=None,
                         help=f"cache root (default: {default_cache_dir()})")
+    parser.add_argument("--tuned", action="store_true",
+                        help="consult the persistent tuning database: "
+                             "workloads with a tuned-best record generate "
+                             "with the tuned options")
+    parser.add_argument("--tuning-db", default=None, metavar="DIR",
+                        help="tuning database root (implies --tuned)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     warm = sub.add_parser("warm", help="generate-and-cache workloads")
@@ -81,6 +91,8 @@ def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
     width = max(len(r.label or "") for r in responses)
     for response in responses:
         state = "hit " if response.cache_hit else "MISS"
+        if response.tuned:
+            state += " tuned"
         perf = response.result.performance
         print(f"{(response.label or ''):{width}s}  {state}  "
               f"{response.latency_s * 1e3:8.1f} ms  "
@@ -144,8 +156,13 @@ def _cmd_purge(service: KernelService, args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     store = DiskKernelStore(root=args.cache_dir)
+    tuning_db = None
+    if args.tuned or args.tuning_db:
+        from ..tuning.db import TuningDB
+        tuning_db = TuningDB(root=args.tuning_db)
     service = KernelService(store=store,
-                            max_workers=getattr(args, "workers", None))
+                            max_workers=getattr(args, "workers", None),
+                            tuning_db=tuning_db)
     try:
         if args.command == "warm":
             return _cmd_warm(service, args)

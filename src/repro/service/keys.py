@@ -32,7 +32,9 @@ from ..slingen.options import Options
 
 #: Bump whenever generated code may change for an unchanged request
 #: (generator semantics, pass pipeline, C unparser, ...).
-KEY_SCHEMA_VERSION = 1
+#: v2: widened default codegen search space (block_size and
+#: scalar-replacement axes) and the ``stage1_variants`` option.
+KEY_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------

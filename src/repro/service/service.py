@@ -76,6 +76,7 @@ class ServiceResponse:
     cache_hit: bool
     latency_s: float
     label: Optional[str] = None
+    tuned: bool = False             # generated with TuningDB-best options
 
 
 #: How many of the most recent per-request records ServiceStats keeps;
@@ -92,6 +93,7 @@ class ServiceStats:
     misses: int = 0
     errors: int = 0
     coalesced: int = 0              # duplicate keys inside one batch
+    tuned: int = 0                  # requests answered with tuned options
     hit_latency_s: float = 0.0
     miss_latency_s: float = 0.0
     records: "deque[Dict[str, object]]" = field(
@@ -109,10 +111,13 @@ class ServiceStats:
         else:
             self.misses += 1
             self.miss_latency_s += response.latency_s
+        if response.tuned:
+            self.tuned += 1
         self.records.append({
             "key": response.key,
             "label": response.label,
             "hit": response.cache_hit,
+            "tuned": response.tuned,
             "latency_s": response.latency_s,
         })
 
@@ -123,6 +128,7 @@ class ServiceStats:
             "misses": self.misses,
             "errors": self.errors,
             "coalesced": self.coalesced,
+            "tuned": self.tuned,
             "hit_rate": self.hit_rate,
             "hit_latency_s": self.hit_latency_s,
             "miss_latency_s": self.miss_latency_s,
@@ -152,14 +158,22 @@ class KernelService:
                  options: Optional[Options] = None,
                  machine: Optional[MicroArchitecture] = None,
                  max_workers: Optional[int] = None,
-                 executor: str = "process"):
+                 executor: str = "process",
+                 tuning_db: Optional[object] = None):
         """``executor`` selects the miss pool for :meth:`generate_many`:
         ``"process"`` (default) gives true CPU parallelism for the
         pure-Python generation pipeline; ``"thread"`` avoids process spawn
         on platforms where that is expensive or unavailable (the GIL then
         serializes the actual generation work).  If the process pool cannot
         be created or dies, the batch falls back to in-process serial
-        generation rather than failing."""
+        generation rather than failing.
+
+        ``tuning_db`` (a :class:`~repro.tuning.db.TuningDB`) makes the
+        service consult the persistent tuning records: when the requested
+        *(program, machine)* has a tuned-best entry, the request's options
+        are replaced by the tuned ones before keying and generation, so a
+        cache miss generates the empirically best known kernel instead of
+        re-running the model-driven search."""
         if executor not in ("thread", "process"):
             raise ServiceError(
                 f"executor must be 'thread' or 'process', got {executor!r}")
@@ -168,6 +182,7 @@ class KernelService:
         self.machine = machine or default_machine()
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_kind = executor
+        self.tuning_db = tuning_db
         self.stats = ServiceStats()
 
     # -- keys ----------------------------------------------------------------
@@ -178,10 +193,32 @@ class KernelService:
             request = GenerationRequest(program=request, label=request.name)
         return request
 
+    def _effective_options(self, request: GenerationRequest
+                           ) -> "tuple[Options, bool]":
+        """The options this request generates with, and whether they came
+        from the tuning database.
+
+        Tuned options participate in content addressing exactly like
+        user-supplied ones (the key is computed from the *effective*
+        options), so a tuned and an untuned request for the same program
+        are distinct cache entries and results stay a pure function of the
+        key.
+        """
+        options = (request.options or self.options).validate()
+        if self.tuning_db is None:
+            return options, False
+        from ..tuning.db import tuning_key
+        tuned = self.tuning_db.best_options(
+            tuning_key(request.program, self.machine,
+                       vectorize=options.vectorize), base=options)
+        if tuned is None:
+            return options, False
+        return tuned.validate(), True
+
     def request_key(self, request: Union[GenerationRequest, Program]) -> str:
         """The content key this request resolves to (no generation)."""
         request = self._coerce(request)
-        options = (request.options or self.options).validate()
+        options, _ = self._effective_options(request)
         return cache_key(request.program, options, self.machine,
                          nominal_flops=request.nominal_flops)
 
@@ -191,8 +228,8 @@ class KernelService:
                  ) -> ServiceResponse:
         """Answer one request, from the store when possible."""
         request = self._coerce(request)
-        options = (request.options or self.options).validate()
         started = time.perf_counter()
+        options, tuned = self._effective_options(request)
         key = cache_key(request.program, options, self.machine,
                         nominal_flops=request.nominal_flops)
         result = self.store.get(key)
@@ -205,11 +242,13 @@ class KernelService:
             except Exception:
                 self.stats.errors += 1
                 raise
-            self.store.put(key, result, meta={"label": request.label})
+            self.store.put(key, result,
+                           meta={"label": request.label, "tuned": tuned})
         response = ServiceResponse(
             key=key, result=result, cache_hit=hit,
             latency_s=time.perf_counter() - started,
-            label=request.label or request.program.name)
+            label=request.label or request.program.name,
+            tuned=tuned)
         self.stats.record(response)
         return response
 
@@ -228,6 +267,8 @@ class KernelService:
         coerced = [self._coerce(r) for r in requests]
         started = [0.0] * len(coerced)
         keys: List[str] = []
+        effective: List[Options] = []
+        tuned_flags: List[bool] = []
         resolved: List[Optional[GenerationResult]] = []
         hit_flags: List[bool] = []
         # Hits complete during this first pass; their latency must be
@@ -237,7 +278,9 @@ class KernelService:
         pending: Dict[str, List[int]] = {}
         for idx, request in enumerate(coerced):
             started[idx] = time.perf_counter()
-            options = (request.options or self.options).validate()
+            options, tuned = self._effective_options(request)
+            effective.append(options)
+            tuned_flags.append(tuned)
             key = cache_key(request.program, options, self.machine,
                             nominal_flops=request.nominal_flops)
             keys.append(key)
@@ -257,9 +300,8 @@ class KernelService:
 
         def run_one(idx: int) -> GenerationResult:
             request = coerced[idx]
-            options = (request.options or self.options).validate()
-            return _generate_payload(request.program, options, self.machine,
-                                     request.nominal_flops)
+            return _generate_payload(request.program, effective[idx],
+                                     self.machine, request.nominal_flops)
 
         if work:
             produced: Optional[List[GenerationResult]] = None
@@ -273,8 +315,7 @@ class KernelService:
                                 produced = list(pool.map(
                                     _generate_payload,
                                     [coerced[i].program for i in work],
-                                    [(coerced[i].options or self.options)
-                                     for i in work],
+                                    [effective[i] for i in work],
                                     [self.machine] * len(work),
                                     [coerced[i].nominal_flops for i in work]))
                         except (futures.process.BrokenProcessPool, OSError,
@@ -294,7 +335,8 @@ class KernelService:
             for idx, result in zip(work, produced):
                 key = keys[idx]
                 self.store.put(key, result,
-                               meta={"label": coerced[idx].label})
+                               meta={"label": coerced[idx].label,
+                                     "tuned": tuned_flags[idx]})
                 now = time.perf_counter()
                 for dup_idx in pending[key]:
                     resolved[dup_idx] = result
@@ -312,7 +354,8 @@ class KernelService:
             response = ServiceResponse(
                 key=keys[idx], result=result, cache_hit=hit_flags[idx],
                 latency_s=end - started[idx],
-                label=request.label or request.program.name)
+                label=request.label or request.program.name,
+                tuned=tuned_flags[idx])
             self.stats.record(response)
             responses.append(response)
         return responses

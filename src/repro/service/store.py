@@ -38,7 +38,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from ..errors import StoreError
-from ..ioutil import atomic_write_bytes, cache_root
+from ..ioutil import LruMap, atomic_write_bytes, cache_root
 from ..slingen.generator import GenerationResult
 
 
@@ -174,13 +174,12 @@ class DiskKernelStore(KernelStore):
         self.root = os.path.abspath(root or default_cache_dir())
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.hot_capacity = max(0, hot_capacity)
         try:
             os.makedirs(self.root, exist_ok=True)
         except OSError as exc:
             raise StoreError(
                 f"cannot create kernel cache root {self.root!r}: {exc}")
-        self._hot: "OrderedDict[str, GenerationResult]" = OrderedDict()
+        self._hot: LruMap[GenerationResult] = LruMap(hot_capacity)
         self.hot_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -192,22 +191,11 @@ class DiskKernelStore(KernelStore):
     def _entry_dir(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key)
 
-    # -- hot layer -----------------------------------------------------------
-
-    def _hot_insert(self, key: str, result: GenerationResult) -> None:
-        if self.hot_capacity == 0:
-            return
-        self._hot[key] = result
-        self._hot.move_to_end(key)
-        while len(self._hot) > self.hot_capacity:
-            self._hot.popitem(last=False)
-
     # -- KernelStore API -----------------------------------------------------
 
     def get(self, key: str) -> Optional[GenerationResult]:
         hot = self._hot.get(key)
         if hot is not None:
-            self._hot.move_to_end(key)
             self.hot_hits += 1
             # Keep the on-disk LRU clock honest: without this, an entry
             # served only from the hot layer looks idle to _evict() and the
@@ -245,7 +233,7 @@ class DiskKernelStore(KernelStore):
             os.utime(meta_path)
         except OSError:
             pass
-        self._hot_insert(key, result)
+        self._hot.insert(key, result)
         self.disk_hits += 1
         return result
 
@@ -264,7 +252,7 @@ class DiskKernelStore(KernelStore):
         atomic_write_bytes(
             os.path.join(entry, self.META_NAME),
             json.dumps(doc, indent=2, sort_keys=True).encode("utf-8"))
-        self._hot_insert(key, result)
+        self._hot.insert(key, result)
         self._evict()
 
     def delete(self, key: str) -> bool:
@@ -274,7 +262,7 @@ class DiskKernelStore(KernelStore):
         return existed
 
     def _drop_entry(self, key: str) -> None:
-        self._hot.pop(key, None)
+        self._hot.pop(key)
         shutil.rmtree(self._entry_dir(key), ignore_errors=True)
 
     def keys(self) -> List[str]:

@@ -8,7 +8,15 @@
    into nu-BLAC-style vector code, producing C-IR.
 3. **Stage 3** -- code-level optimizations (unrolling, scalar replacement,
    the load/store analysis, DCE) and autotuning over algorithmic and
-   code-generation variants using the machine model as the timing oracle.
+   code-generation variants.
+
+Variant selection is delegated to a pluggable search strategy
+(:mod:`repro.tuning.strategies`) scoring candidates with a measurement
+backend (:mod:`repro.tuning.measure`).  The default -- no strategy or
+measurer given -- is the paper's model-driven two-phase search with the
+roofline estimate as the timing oracle, byte-compatible with the historic
+hard-coded loop; passing e.g. ``strategy="hill-climb"`` and an empirical
+measurer turns the same pipeline into a measurement-driven autotuner.
 
 The result bundles the chosen C-IR kernel, the emitted single-source C code,
 the performance estimate, and enough metadata to reproduce the choice.
@@ -16,8 +24,9 @@ the performance estimate, and enough metadata to reproduce the choice.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +39,8 @@ from ..errors import AutotuningError
 from ..ir.program import Program
 from ..lgen.compiler import lower_program_with_stats
 from ..lgen.lowering import LoweringOptions
-from ..lgen.tiling import CodegenVariant, candidate_variants
+from ..lgen.tiling import (CodegenVariant, candidate_variants,
+                           dedupe_resolved)
 from ..machine.microarch import MicroArchitecture, default_machine
 from ..machine.roofline import PerformanceEstimate, analyze_function
 from .options import Options
@@ -174,18 +184,127 @@ class GeneratedCode:
         }
 
 
+def build_candidate(program: Program, options: Options,
+                    machine: MicroArchitecture,
+                    variant_choices: Dict[int, str],
+                    codegen: CodegenVariant,
+                    database: AlgorithmDatabase,
+                    block_size: int,
+                    nominal_flops: Optional[float]) -> Candidate:
+    """Run Stages 1-3 for one (algorithmic, code-generation) variant pair.
+
+    This is the single place a candidate implementation is built; the
+    generator's search strategies and the standalone empirical tuner both
+    call it.  ``block_size`` is the options default; a ``codegen`` with an
+    explicit ``block_size`` overrides it for Stage-1 synthesis.
+    """
+    stage1 = synthesize_basic_program(
+        program, codegen.block_size or block_size, variant_choices, database,
+        label=f"v{len(variant_choices)}")
+
+    rewrite_report = RewriteReport()
+    if options.rewrite_rules:
+        rewrite_report = apply_rewrite_rules(stage1.program)
+
+    lowering = LoweringOptions(
+        vector_width=codegen.vector_width,
+        use_shuffle_transpose=codegen.use_shuffle_transpose)
+    function, _ = lower_program_with_stats(
+        stage1.program, lowering,
+        function_name=options.function_name or f"{program.name}_kernel",
+        annotate=options.annotate_code)
+
+    pass_options = PassOptions(
+        unroll=options.unroll,
+        max_unroll_trip_count=codegen.unroll_trip_count,
+        max_unroll_body=codegen.unroll_body_limit,
+        scalar_replacement=(options.scalar_replacement
+                            and codegen.scalar_replacement),
+        load_store_analysis=(options.load_store_analysis
+                             and codegen.load_store_analysis),
+        dead_code_elimination=True,
+        algebraic_simplification=True)
+    pass_report = run_pipeline(function, pass_options)
+
+    estimate = analyze_function(function, machine=machine,
+                                nominal_flops=nominal_flops)
+    label = f"{stage1.label}|{codegen.label}"
+    return Candidate(label=label, stage1=stage1, codegen=codegen,
+                     function=function, estimate=estimate,
+                     pass_report=pass_report,
+                     rewrite_report=rewrite_report)
+
+
+class CandidateBuilder:
+    """Memoized candidate construction over a variant search space.
+
+    Maps :class:`~repro.tuning.strategies.TuningPoint` coordinates --
+    (Stage-1 choice index, codegen variant index) -- to fully built
+    :class:`Candidate` implementations, building each point at most once
+    and recording build order for the result metadata.
+    """
+
+    def __init__(self, program: Program, options: Options,
+                 machine: MicroArchitecture,
+                 stage1_choices: List[Dict[int, str]],
+                 codegen_variants: List[CodegenVariant],
+                 nominal_flops: Optional[float] = None,
+                 database: Optional[AlgorithmDatabase] = None):
+        if not stage1_choices or not codegen_variants:
+            raise AutotuningError("empty variant space")
+        self.program = program
+        self.options = options
+        self.machine = machine
+        self.stage1_choices = stage1_choices
+        self.codegen_variants = codegen_variants
+        self.nominal_flops = nominal_flops
+        self.database = database or AlgorithmDatabase()
+        self.block_size = options.effective_block_size
+        self.built: List[Candidate] = []
+        self._memo: Dict[Tuple[int, int], Candidate] = {}
+
+    def space(self):
+        """The joint search space strategies walk."""
+        from ..tuning.strategies import SearchSpace
+        return SearchSpace(len(self.stage1_choices), self.codegen_variants)
+
+    def candidate(self, point) -> Candidate:
+        """The candidate at ``point`` (built on first request)."""
+        key = (point.stage1, point.codegen)
+        found = self._memo.get(key)
+        if found is None:
+            found = build_candidate(
+                self.program, self.options, self.machine,
+                self.stage1_choices[point.stage1],
+                self.codegen_variants[point.codegen],
+                self.database, self.block_size, self.nominal_flops)
+            self._memo[key] = found
+            self.built.append(found)
+        return found
+
+
 class SLinGen:
     """Program generator for small-scale linear algebra applications."""
 
     def __init__(self, options: Optional[Options] = None,
                  machine: Optional[MicroArchitecture] = None,
-                 store: Optional[object] = None):
+                 store: Optional[object] = None,
+                 strategy: Optional[object] = None,
+                 measurer: Optional[object] = None):
         """``store`` (a :class:`repro.service.store.KernelStore`) makes the
         generator consult and populate the persistent kernel cache on every
-        ``generate``/``generate_result`` call."""
+        ``generate``/``generate_result`` call.
+
+        ``strategy`` (a :class:`~repro.tuning.strategies.SearchStrategy` or
+        its name) and ``measurer`` (a :class:`~repro.tuning.measure.Measurer`
+        or backend name) customize how ``autotune=True`` explores the
+        variant space.  Both default to the paper's model-driven two-phase
+        search -- keys and results for unchanged requests stay stable."""
         self.options = options or Options()
         self.machine = machine or default_machine()
         self.store = store
+        self.strategy = strategy
+        self.measurer = measurer
 
     # -- public API -------------------------------------------------------------
 
@@ -210,7 +329,14 @@ class SLinGen:
         self.options.validate()
 
         key: Optional[str] = None
-        if self.store is not None:
+        # The cache key covers (program, options, machine) only: a custom
+        # strategy or measurer changes which kernel wins without changing
+        # the key, so such generators bypass the store entirely -- a stored
+        # result must stay a pure function of its key.  (The empirical
+        # tuner persists its winners through the TuningDB as pinned
+        # *options*, which do participate in the key.)
+        if self.store is not None and self.strategy is None \
+                and self.measurer is None:
             from ..service.keys import cache_key
             key = cache_key(program, self.options, self.machine,
                             nominal_flops=nominal_flops)
@@ -225,48 +351,65 @@ class SLinGen:
 
     def _generate_uncached(self, program: Program,
                            nominal_flops: Optional[float]) -> GenerationResult:
-        options = self.options
-        database = AlgorithmDatabase()
-        block_size = options.effective_block_size
+        from ..tuning.strategies import make_strategy
 
+        options = self.options
+        block_size = options.effective_block_size
         sites = find_hlac_sites(program, block_size)
 
-        if options.autotune:
+        if options.stage1_variants is not None:
+            stage1_choices = [dict(options.stage1_variants)]
+        elif options.autotune:
             stage1_choices = enumerate_variant_choices(
                 sites, max_candidates=max(1, options.max_variants))
-            codegen_variants = candidate_variants(
-                vectorize=options.vectorize)[:max(1, options.max_variants)]
         else:
             stage1_choices = [{}]
+
+        if options.autotune:
+            codegen_variants = dedupe_resolved(
+                candidate_variants(vectorize=options.vectorize),
+                block_size)[:max(1, options.max_variants)]
+        else:
             codegen_variants = [CodegenVariant(
                 vector_width=options.effective_vector_width,
                 unroll_trip_count=options.unroll_trip_count,
                 unroll_body_limit=options.unroll_body_limit,
                 use_shuffle_transpose=options.use_shuffle_transpose,
-                load_store_analysis=options.load_store_analysis)]
+                load_store_analysis=options.load_store_analysis,
+                block_size=options.block_size,
+                scalar_replacement=options.scalar_replacement)]
 
-        candidates: List[Candidate] = []
+        builder = CandidateBuilder(
+            program, options, self.machine, stage1_choices, codegen_variants,
+            nominal_flops=nominal_flops)
+        strategy = make_strategy(self.strategy or "two-phase")
+        scores: Dict[str, float] = {}
 
-        # Phase 1: explore algorithmic (Stage-1) variants with the default
-        # code-generation settings.
-        default_codegen = codegen_variants[0]
-        for choice in stage1_choices:
-            candidates.append(self._build_candidate(
-                program, choice, default_codegen, database, block_size,
-                nominal_flops))
-        best = min(candidates, key=lambda c: c.cycles)
+        measurer = None
+        measure_inputs: Dict[str, object] = {}
+        if self.measurer is not None:
+            from ..tuning.measure import resolve_measurer
+            measurer = resolve_measurer(self.measurer, machine=self.machine)
 
-        # Phase 2: explore code-generation variants for the best algorithm.
-        for codegen in codegen_variants[1:]:
-            if len(candidates) >= options.max_variants:
-                break
-            candidates.append(self._build_candidate(
-                program, best.stage1.variant_choices, codegen, database,
-                block_size, nominal_flops))
-        best = min(candidates, key=lambda c: c.cycles)
+        def evaluate(point) -> float:
+            candidate = builder.candidate(point)
+            if measurer is None:
+                score = candidate.cycles
+            else:
+                from ..tuning.measure import score_function
+                score, _, _ = score_function(measurer, candidate.function,
+                                             candidate.estimate,
+                                             measure_inputs)
+            scores[candidate.label] = score
+            return score
 
-        if not candidates:
-            raise AutotuningError("no candidate implementation was generated")
+        outcome = strategy.search(builder.space(), evaluate,
+                                  budget=max(1, options.max_variants))
+        if measurer is not None and not math.isfinite(outcome.best_score):
+            raise AutotuningError(
+                f"every candidate of {program.name!r} failed to measure "
+                f"on the {measurer.name!r} backend")
+        best = builder.candidate(outcome.best)
 
         c_code = unparse_function(best.function)
         return GenerationResult(
@@ -282,54 +425,13 @@ class SLinGen:
                 "cycles": c.cycles,
                 "flops_per_cycle": c.estimate.flops_per_cycle,
                 "bottleneck": c.estimate.bottleneck,
-            } for c in candidates],
-            database_stats=database.stats(),
+                "score": scores.get(c.label),
+            } for c in builder.built],
+            database_stats=builder.database.stats(),
             pass_report=best.pass_report,
             rewrite_report=best.rewrite_report,
         )
 
-    # -- internals ----------------------------------------------------------------
-
-    def _build_candidate(self, program: Program, variant_choices: Dict[int, str],
-                         codegen: CodegenVariant, database: AlgorithmDatabase,
-                         block_size: int,
-                         nominal_flops: Optional[float]) -> Candidate:
-        options = self.options
-
-        stage1 = synthesize_basic_program(
-            program, block_size, variant_choices, database,
-            label=f"v{len(variant_choices)}")
-
-        rewrite_report = RewriteReport()
-        if options.rewrite_rules:
-            rewrite_report = apply_rewrite_rules(stage1.program)
-
-        lowering = LoweringOptions(
-            vector_width=codegen.vector_width,
-            use_shuffle_transpose=codegen.use_shuffle_transpose)
-        function, _ = lower_program_with_stats(
-            stage1.program, lowering,
-            function_name=options.function_name or f"{program.name}_kernel",
-            annotate=options.annotate_code)
-
-        pass_options = PassOptions(
-            unroll=options.unroll,
-            max_unroll_trip_count=codegen.unroll_trip_count,
-            max_unroll_body=codegen.unroll_body_limit,
-            scalar_replacement=options.scalar_replacement,
-            load_store_analysis=(options.load_store_analysis
-                                 and codegen.load_store_analysis),
-            dead_code_elimination=True,
-            algebraic_simplification=True)
-        pass_report = run_pipeline(function, pass_options)
-
-        estimate = analyze_function(function, machine=self.machine,
-                                    nominal_flops=nominal_flops)
-        label = f"{stage1.label}|{codegen.label}"
-        return Candidate(label=label, stage1=stage1, codegen=codegen,
-                         function=function, estimate=estimate,
-                         pass_report=pass_report,
-                         rewrite_report=rewrite_report)
 
 
 def generate(program: Program, options: Optional[Options] = None,

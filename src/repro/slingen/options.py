@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -31,6 +31,12 @@ class Options:
     max_variants:
         Upper bound on the number of candidate implementations evaluated by
         the autotuner.
+    stage1_variants:
+        Pin the Stage-1 algorithmic choices: maps HLAC statement indices
+        (in the unrolled input program) to Cl1ck variant names, exactly the
+        ``variant_choices`` of a :class:`~repro.slingen.stage1.Stage1Result`.
+        ``None`` (the default) lets the autotuner choose; the empirical
+        tuner uses this to replay a tuned algorithm deterministically.
     """
 
     vectorize: bool = True
@@ -45,6 +51,7 @@ class Options:
     rewrite_rules: bool = True
     use_shuffle_transpose: bool = True
     max_variants: int = 12
+    stage1_variants: Optional[Dict[int, str]] = None
     annotate_code: bool = True
     function_name: Optional[str] = None
 
@@ -73,6 +80,13 @@ class Options:
         if self.unroll_body_limit < 1:
             raise ConfigurationError(
                 f"unroll_body_limit must be >= 1, got {self.unroll_body_limit}")
+        if self.stage1_variants is not None:
+            for index, variant in self.stage1_variants.items():
+                if not isinstance(index, int) or index < 0 \
+                        or not isinstance(variant, str) or not variant:
+                    raise ConfigurationError(
+                        f"stage1_variants must map HLAC indices (int >= 0) "
+                        f"to variant names, got {index!r}: {variant!r}")
         if self.function_name is not None \
                 and not self.function_name.isidentifier():
             raise ConfigurationError(

@@ -1,0 +1,40 @@
+"""Empirical autotuning: measurement-driven variant search with a
+persistent tuning database.
+
+The subsystem has four layers:
+
+* :mod:`repro.tuning.measure` -- interchangeable measurement backends
+  (compiled wall-clock timing, interpreter operation counts, the roofline
+  model), auto-selected by environment;
+* :mod:`repro.tuning.strategies` -- pluggable search strategies over the
+  joint Stage-1 x code-generation variant space (two-phase, exhaustive,
+  random, hill-climb), all deterministic under a fixed seed;
+* :mod:`repro.tuning.db` -- the persistent :class:`TuningDB`, keyed by the
+  same canonical content hashes as the kernel service;
+* :mod:`repro.tuning.tuner` -- the :class:`Autotuner` that ties them
+  together and is also reachable as ``python -m repro.tuning``.
+"""
+
+from .db import (TUNING_SCHEMA_VERSION, TuningDB, TuningRecord,
+                 default_tuning_dir, tuning_key)
+from .measure import (CompiledMeasurer, InterpreterMeasurer, Measurement,
+                      Measurer, ModelMeasurer, measurer_names,
+                      resolve_measurer, robust_score, score_function,
+                      synthesize_inputs)
+from .strategies import (ExhaustiveSearch, HillClimbSearch, RandomSearch,
+                         SearchOutcome, SearchSpace, SearchStrategy,
+                         TuningPoint, TwoPhaseSearch, make_strategy,
+                         strategy_names)
+from .tuner import Autotuner, tuned_option_values
+
+__all__ = [
+    "TUNING_SCHEMA_VERSION", "TuningDB", "TuningRecord",
+    "default_tuning_dir", "tuning_key",
+    "CompiledMeasurer", "InterpreterMeasurer", "Measurement", "Measurer",
+    "ModelMeasurer", "measurer_names", "resolve_measurer", "robust_score",
+    "score_function", "synthesize_inputs",
+    "ExhaustiveSearch", "HillClimbSearch", "RandomSearch", "SearchOutcome",
+    "SearchSpace", "SearchStrategy", "TuningPoint", "TwoPhaseSearch",
+    "make_strategy", "strategy_names",
+    "Autotuner", "tuned_option_values",
+]

@@ -1,0 +1,164 @@
+"""Command-line front-end of the empirical autotuner.
+
+Usage (``PYTHONPATH=src python -m repro.tuning <command>``)::
+
+    tune   SPEC ... [--strategy S] [--budget N] [--seed N]
+                    [--backend auto|compiled|interpreter|model] [--scalar]
+    report [SPEC ...]               # show records (all, or for the specs)
+    export [--output FILE]          # dump every record as JSON
+    purge  [--yes]                  # drop every tuning record
+
+A SPEC is ``name:size`` (``potrf:12``) or ``name:sizexk`` (``kf:8x4``) --
+the same workload addresses the kernel service uses.  The database root
+defaults to ``~/.cache/repro-slingen/tuning`` and can be moved with
+``--db`` or the ``REPRO_TUNING_DB`` environment variable.  ``report``
+exits non-zero when a requested spec has no record yet, so scripts (and
+CI) can assert that a tuning run landed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..slingen.options import Options
+from .db import TuningDB, default_tuning_dir, tuning_key
+from .measure import measurer_names
+from .strategies import strategy_names
+from .tuner import Autotuner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning",
+        description="Empirically tune kernels and manage tuning records.")
+    parser.add_argument("--db", default=None, metavar="DIR",
+                        help=f"database root "
+                             f"(default: {default_tuning_dir()})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="search variants for workloads and "
+                                       "persist the winners")
+    tune.add_argument("specs", nargs="+", metavar="SPEC",
+                      help="workloads to tune, e.g. potrf:4 kf:8x4")
+    tune.add_argument("--strategy", default="hill-climb",
+                      choices=strategy_names())
+    tune.add_argument("--budget", type=int, default=8,
+                      help="max candidate evaluations per workload")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--backend", default=None, choices=measurer_names(),
+                      help="measurement backend (default: auto / "
+                           "$REPRO_TUNE_BACKEND)")
+    tune.add_argument("--scalar", action="store_true",
+                      help="tune scalar (non-vectorized) kernels")
+
+    report = sub.add_parser("report", help="show tuning records")
+    report.add_argument("specs", nargs="*", metavar="SPEC",
+                        help="workloads to report (default: every record)")
+    report.add_argument("--scalar", action="store_true",
+                        help="look up the scalar-tuned records for the "
+                             "given specs")
+
+    export = sub.add_parser("export", help="dump records as JSON")
+    export.add_argument("--output", default=None, metavar="FILE",
+                        help="write to FILE instead of stdout")
+
+    purge = sub.add_parser("purge", help="drop every tuning record")
+    purge.add_argument("--yes", action="store_true",
+                       help="do not ask for confirmation")
+    return parser
+
+
+def _record_line(record) -> str:
+    return (f"{record.label:14s} {record.strategy:10s} "
+            f"{record.backend:11s} {record.evaluations:3d} evals  "
+            f"best {record.best_score:.6g} {record.unit} "
+            f"(baseline {record.baseline_score:.6g}, "
+            f"x{record.improvement:.3f})  {record.best_label}")
+
+
+def _cmd_tune(db: TuningDB, args: argparse.Namespace) -> int:
+    from ..service.registry import build_case, parse_spec
+    options = Options(vectorize=not args.scalar, annotate_code=False)
+    tuner = Autotuner(db=db, measurer=args.backend, strategy=args.strategy,
+                      budget=args.budget, seed=args.seed)
+    for text in args.specs:
+        spec = parse_spec(text)
+        record = tuner.tune_case(build_case(spec), options=options,
+                                 label=spec.label)
+        print(f"{_record_line(record)}  {record.key[:12]}")
+    print(f"tuned {len(args.specs)} workload(s) with "
+          f"{tuner.measurer.name} measurements into {db.root}")
+    return 0
+
+
+def _cmd_report(db: TuningDB, args: argparse.Namespace) -> int:
+    if args.specs:
+        from ..service.registry import build_case, parse_spec
+        missing = 0
+        for text in args.specs:
+            case = build_case(parse_spec(text))
+            record = db.get(tuning_key(case.program,
+                                       vectorize=not args.scalar))
+            if record is None:
+                missing += 1
+                print(f"{text}: no tuning record")
+            else:
+                print(_record_line(record))
+        return 1 if missing else 0
+    records = list(db.records())
+    if not records:
+        print("tuning database is empty")
+        return 0
+    for record in sorted(records, key=lambda r: r.label):
+        print(_record_line(record))
+    print(f"{len(records)} record(s) in {db.root}")
+    return 0
+
+
+def _cmd_export(db: TuningDB, args: argparse.Namespace) -> int:
+    doc = [record.to_json() for record in db.records()]
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"exported {len(doc)} record(s) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_purge(db: TuningDB, args: argparse.Namespace) -> int:
+    if not args.yes:
+        reply = input(f"purge every tuning record under {db.root}? [y/N] ")
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = db.purge()
+    print(f"purged {removed} record(s)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        db = TuningDB(root=args.db)
+        if args.command == "tune":
+            return _cmd_tune(db, args)
+        if args.command == "report":
+            return _cmd_report(db, args)
+        if args.command == "export":
+            return _cmd_export(db, args)
+        if args.command == "purge":
+            return _cmd_purge(db, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

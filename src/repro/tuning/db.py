@@ -1,0 +1,290 @@
+"""The persistent tuning database: what won, where, and by how much.
+
+A :class:`TuningRecord` captures the outcome of one empirical search --
+the winning options, the pinned Stage-1 choices, the full trial log, and
+the measurement backend that produced the scores.  Records are keyed by
+:func:`tuning_key`, the same canonical content hashing as
+:mod:`repro.service.keys` restricted to *(program, machine, vectorize)*:
+tuned-best settings are a property of what is computed, on which machine
+model, and within which search space (scalar vs. vector) -- independent
+of the knobs being tuned, which live in the record, not the key.
+
+The on-disk layout mirrors the kernel store: one JSON document per record
+under ``<root>/<key[:2]>/<key>.json``, written atomically, read
+corruption-tolerantly (an undecodable record is quarantined and reported
+as a miss, so tuning degrades to re-tuning, never to an exception).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..errors import TuningDBError
+from ..ioutil import LruMap, atomic_write_bytes, cache_root
+from ..ir.program import Program
+from ..machine.microarch import MicroArchitecture
+from ..service.keys import canonical_program, machine_fingerprint
+from ..slingen.options import Options
+
+#: Bump whenever record contents change incompatibly; old records are then
+#: quarantined on read and the kernels simply re-tune.
+TUNING_SCHEMA_VERSION = 1
+
+#: Option fields a tuning record is allowed to override on apply.  Request
+#: identity fields (``function_name``, ``annotate_code``, ...) always come
+#: from the caller's base options.
+TUNED_OPTION_FIELDS = (
+    "vectorize", "vector_width", "block_size", "unroll_trip_count",
+    "unroll_body_limit", "use_shuffle_transpose", "load_store_analysis",
+    "scalar_replacement",
+)
+
+
+def default_tuning_dir() -> str:
+    """Root of the persistent tuning database.
+
+    Overridable via ``REPRO_TUNING_DB``; defaults to
+    ``~/.cache/repro-slingen/tuning`` (next to the kernel and object
+    caches).
+    """
+    return cache_root("REPRO_TUNING_DB", "tuning")
+
+
+def tuning_key(program: Union[Program, str],
+               machine: Optional[MicroArchitecture] = None,
+               constants: Optional[Dict[str, int]] = None,
+               vectorize: bool = True) -> str:
+    """SHA-256 content key of one *(program, machine, vectorize?)* tuning
+    target.
+
+    Uses the same canonical serialization as the kernel-service cache keys
+    (:mod:`repro.service.keys`), minus the searched options: a tuning
+    record must be found *before* the generation options are decided,
+    since it is what decides them.  ``vectorize`` is the one base option
+    that *does* key the record -- it selects a disjoint search space
+    (scalar vs. AVX variants), so scalar and vectorized tuning runs must
+    not clobber each other's winners.
+    """
+    if isinstance(program, str):
+        from ..la import parse_program
+        program = parse_program(program, constants or {})
+    if machine is None:
+        from ..machine.microarch import default_machine
+        machine = default_machine()
+    doc = {
+        "schema": TUNING_SCHEMA_VERSION,
+        "program": canonical_program(program),
+        "machine": machine_fingerprint(machine),
+        "vectorize": bool(vectorize),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TuningRecord:
+    """The persisted outcome of one empirical tuning run."""
+
+    key: str
+    program_name: str
+    label: str                      # registry-style label, e.g. "potrf:4"
+    strategy: str
+    backend: str                    # measurer name
+    unit: str                       # score unit of the backend
+    budget: int
+    seed: int
+    evaluations: int
+    best_label: str                 # winning candidate label
+    best_score: float
+    baseline_score: float           # score of the default configuration
+    options: Dict[str, object]      # tuned values for TUNED_OPTION_FIELDS
+    stage1_variants: Dict[int, str]
+    trials: List[Dict[str, object]] = field(default_factory=list)
+    created_at: float = 0.0
+    schema: int = TUNING_SCHEMA_VERSION
+
+    @property
+    def improvement(self) -> float:
+        """Baseline/best score ratio (>= 1 when tuning helped)."""
+        if self.best_score <= 0:
+            return 1.0
+        return self.baseline_score / self.best_score
+
+    def apply(self, base: Options) -> Options:
+        """The tuned generation options: ``base`` with the searched knobs
+        replaced by the record's winners, the Stage-1 choices pinned, and
+        the model-driven autotuner disabled (there is nothing left to
+        search).
+
+        Capability toggles compose with ``base`` by conjunction and the
+        vector width never exceeds the request's -- a record can only
+        switch an optimization *off* relative to what the caller allowed,
+        never force one the caller disabled (e.g. emit AVX intrinsics for
+        a ``vectorize=False`` request).
+        """
+        overrides = {name: self.options[name]
+                     for name in TUNED_OPTION_FIELDS if name in self.options}
+        for toggle in ("vectorize", "use_shuffle_transpose",
+                       "load_store_analysis", "scalar_replacement"):
+            if toggle in overrides:
+                overrides[toggle] = (bool(overrides[toggle])
+                                     and getattr(base, toggle))
+        if "vector_width" in overrides:
+            overrides["vector_width"] = min(int(overrides["vector_width"]),
+                                            base.vector_width)
+        return dataclasses.replace(
+            base, autotune=False,
+            stage1_variants=dict(self.stage1_variants), **overrides)
+
+    def to_json(self) -> Dict[str, object]:
+        doc = dataclasses.asdict(self)
+        # JSON objects have string keys; restored by from_json.
+        doc["stage1_variants"] = {str(k): v
+                                  for k, v in self.stage1_variants.items()}
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "TuningRecord":
+        if not isinstance(doc, dict) \
+                or doc.get("schema") != TUNING_SCHEMA_VERSION:
+            raise ValueError(f"unsupported tuning record: {doc!r:.80}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        kwargs["stage1_variants"] = {
+            int(k): str(v)
+            for k, v in dict(kwargs.get("stage1_variants") or {}).items()}
+        return cls(**kwargs)
+
+
+class TuningDB:
+    """Persistent key -> :class:`TuningRecord` store (see module docs)."""
+
+    def __init__(self, root: Optional[str] = None, hot_capacity: int = 128):
+        """``hot_capacity`` bounds the in-memory record cache: a service
+        consulting the database on every request (including cache hits)
+        must not pay a disk read + JSON parse per hit.  Only positive
+        lookups are cached -- a miss always re-probes the filesystem, so
+        records tuned by another process are picked up."""
+        self.root = os.path.abspath(root or default_tuning_dir())
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise TuningDBError(
+                f"cannot create tuning database root {self.root!r}: {exc}")
+        self._hot: LruMap[TuningRecord] = LruMap(hot_capacity)
+        self.hits = 0
+        self.misses = 0
+        self.hot_hits = 0
+        self.corrupt_dropped = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _record_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- store API -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[TuningRecord]:
+        """The stored record, or None (missing or quarantined-corrupt)."""
+        hot = self._hot.get(key)
+        if hot is not None:
+            self.hits += 1
+            self.hot_hits += 1
+            return hot
+        path = self._record_path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = TuningRecord.from_json(json.load(handle))
+        except Exception:
+            # Torn write, schema drift, hand-edited garbage: drop the
+            # record and let the caller re-tune.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.corrupt_dropped += 1
+            self.misses += 1
+            return None
+        self._hot.insert(key, record)
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: TuningRecord) -> None:
+        record.key = key
+        if not record.created_at:
+            record.created_at = time.time()
+        path = self._record_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_bytes(path, json.dumps(
+            record.to_json(), indent=2, sort_keys=True).encode("utf-8"))
+        self._hot.insert(key, record)
+
+    def delete(self, key: str) -> bool:
+        self._hot.pop(key)
+        path = self._record_path(key)
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> List[str]:
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    found.append(name[:-len(".json")])
+        return found
+
+    def records(self) -> Iterator[TuningRecord]:
+        """Every decodable record (corrupt ones are quarantined as usual)."""
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def purge(self) -> int:
+        self._hot.clear()
+        removed = 0
+        for key in self.keys():
+            if self.delete(key):
+                removed += 1
+        return removed
+
+    def best_options(self, key: str, base: Options) -> Optional[Options]:
+        """The tuned options for ``key`` applied over ``base``, or None."""
+        record = self.get(key)
+        if record is None:
+            return None
+        return record.apply(base)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": "tuning-db",
+            "root": self.root,
+            "entries": len(self.keys()),
+            "hits": self.hits,
+            "hot_hits": self.hot_hits,
+            "misses": self.misses,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._record_path(key))
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,298 @@
+"""Measurement backends for the empirical autotuner.
+
+The analytical roofline model of :mod:`repro.machine.roofline` has been the
+only timing oracle of the generator so far; this module closes the loop
+with the hardware.  Three interchangeable :class:`Measurer` backends score
+a generated kernel (lower is better):
+
+* :class:`CompiledMeasurer` -- the strongest signal: compiles the emitted C
+  with the system compiler (:mod:`repro.backend.compile`) and times real
+  executions -- warmup calls, median of k repeats, MAD-based outlier
+  rejection.  Scores are seconds per call.
+* :class:`InterpreterMeasurer` -- runs the kernel in the C-IR interpreter
+  and scores it by the number of operations actually executed.  Fully
+  deterministic, available everywhere, the fallback when no C compiler is
+  installed.
+* :class:`ModelMeasurer` -- the existing roofline estimate (model cycles);
+  free, since the generator computes it for every candidate anyway.
+
+:func:`resolve_measurer` picks a backend by name, honoring the
+``REPRO_TUNE_BACKEND`` environment variable, and ``"auto"`` walks the
+fallback order ``compiled -> interpreter`` by availability.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import os
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.compile import compile_kernel, compiler_available
+from ..cir.interpreter import Interpreter
+from ..cir.nodes import Function
+from ..errors import MeasurementError
+from ..machine.microarch import MicroArchitecture
+from ..machine.roofline import PerformanceEstimate, analyze_function
+
+#: Environment variable selecting the measurement backend
+#: (``compiled``/``interpreter``/``model``/``auto``).
+BACKEND_ENV_VAR = "REPRO_TUNE_BACKEND"
+
+#: Auto-selection order: strongest available signal wins.  The model
+#: backend never auto-selects (the interpreter is always available); it is
+#: reachable by explicit request only.
+FALLBACK_ORDER = ("compiled", "interpreter")
+
+
+@dataclass
+class Measurement:
+    """One scored kernel: ``score`` is comparable within one backend only."""
+
+    score: float
+    unit: str
+    backend: str
+    samples: List[float] = field(default_factory=list)
+    rejected: int = 0
+
+
+def robust_score(samples: List[float],
+                 mad_threshold: float = 3.0) -> Tuple[float, int]:
+    """Median with MAD-based outlier rejection.
+
+    Samples farther than ``mad_threshold`` median-absolute-deviations from
+    the median are dropped (a context switch or frequency ramp mid-run),
+    and the median of the survivors is returned together with the number
+    rejected.  With fewer than three samples, or when every sample is
+    identical, nothing is rejected.
+    """
+    if not samples:
+        raise MeasurementError("no timing samples collected")
+    if len(samples) < 3:
+        return statistics.median(samples), 0
+    center = statistics.median(samples)
+    mad = statistics.median(abs(s - center) for s in samples)
+    if mad == 0.0:
+        return center, 0
+    kept = [s for s in samples if abs(s - center) <= mad_threshold * mad]
+    if not kept:  # pragma: no cover - defensive; median is always kept
+        kept = samples
+    return statistics.median(kept), len(samples) - len(kept)
+
+
+def synthesize_inputs(function: Function,
+                      seed: int = 17) -> Dict[str, np.ndarray]:
+    """Deterministic, numerically safe inputs for an arbitrary kernel.
+
+    Square input matrices are made symmetric positive definite and
+    diagonally dominant, so factorizations, triangular solves, and
+    inversions all run without NaNs; everything else gets standard normal
+    entries.  The same seed and parameter order always produce the same
+    buffers, so interpreter-based scores are reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    for buf in function.params:
+        if buf.kind not in ("in", "inout"):
+            continue
+        if buf.rows == buf.cols and buf.rows > 1:
+            raw = rng.standard_normal((buf.rows, buf.cols))
+            value = raw @ raw.T / buf.rows + np.eye(buf.rows) * buf.rows
+        elif buf.rows == 1 and buf.cols == 1:
+            value = np.abs(rng.standard_normal((1, 1))) + 1.0
+        else:
+            value = rng.standard_normal((buf.rows, buf.cols))
+        inputs[buf.name] = value
+    return inputs
+
+
+class Measurer(abc.ABC):
+    """Scores one generated kernel; lower scores are better."""
+
+    name = "abstract"
+    unit = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    @abc.abstractmethod
+    def measure(self, function: Function,
+                estimate: Optional[PerformanceEstimate] = None,
+                inputs: Optional[Dict[str, np.ndarray]] = None
+                ) -> Measurement:
+        """Score ``function``.
+
+        ``estimate`` is the roofline analysis the generator already ran for
+        the candidate (the model backend reuses it); ``inputs`` are the
+        numpy buffers to execute on (synthesized when omitted).
+        """
+
+
+class ModelMeasurer(Measurer):
+    """The analytical roofline model as a (free) measurement backend."""
+
+    name = "model"
+    unit = "model-cycles"
+
+    def __init__(self, machine: Optional[MicroArchitecture] = None):
+        self.machine = machine
+
+    def measure(self, function, estimate=None, inputs=None):
+        if estimate is None:
+            estimate = analyze_function(function, machine=self.machine)
+        score = float(estimate.cycles)
+        return Measurement(score=score, unit=self.unit, backend=self.name,
+                           samples=[score])
+
+
+class InterpreterMeasurer(Measurer):
+    """Dynamic operation count from the C-IR interpreter.
+
+    Deterministic (a pure function of the kernel and its inputs), so a
+    single run suffices; the score is the number of expression evaluations
+    and stores the interpreter executed.
+    """
+
+    name = "interpreter"
+    unit = "ops"
+
+    def __init__(self, seed: int = 17):
+        self.seed = seed
+
+    def measure(self, function, estimate=None, inputs=None):
+        if inputs is None:
+            inputs = synthesize_inputs(function, seed=self.seed)
+        interpreter = Interpreter(function)
+        interpreter.run(inputs)
+        score = float(interpreter.executed_ops)
+        return Measurement(score=score, unit=self.unit, backend=self.name,
+                           samples=[score])
+
+
+class CompiledMeasurer(Measurer):
+    """Wall-clock timing of the compiled kernel.
+
+    Each sample times a batch of ``inner`` calls (tiny kernels run well
+    under the timer resolution) after ``warmup`` untimed batches; the score
+    is the outlier-rejected median over ``repeats`` samples, in seconds per
+    call.
+    """
+
+    name = "compiled"
+    unit = "seconds"
+
+    def __init__(self, repeats: int = 9, warmup: int = 2, inner: int = 32,
+                 seed: int = 17):
+        if repeats < 1 or warmup < 0 or inner < 1:
+            raise MeasurementError(
+                f"invalid timing parameters: repeats={repeats}, "
+                f"warmup={warmup}, inner={inner}")
+        self.repeats = repeats
+        self.warmup = warmup
+        self.inner = inner
+        self.seed = seed
+
+    @classmethod
+    def available(cls) -> bool:
+        return compiler_available()
+
+    def measure(self, function, estimate=None, inputs=None):
+        from ..backend.c_unparser import unparse_function
+        from ..errors import BackendError
+        if inputs is None:
+            inputs = synthesize_inputs(function, seed=self.seed)
+        try:
+            c_code = unparse_function(function)
+            # Content-keyed so the shared object lands in the persistent
+            # object cache: re-tuning identical variants skips the
+            # compiler, and no scratch directory is left behind.
+            digest = hashlib.sha256(c_code.encode("utf-8")).hexdigest()
+            kernel = compile_kernel(c_code, function,
+                                    cache_key=f"tune-{digest}")
+            samples = kernel.time(inputs, repeats=self.repeats,
+                                  warmup=self.warmup, inner=self.inner)
+        except BackendError as exc:
+            raise MeasurementError(
+                f"compiled measurement failed: {exc}") from exc
+        score, rejected = robust_score(samples)
+        return Measurement(score=score, unit=self.unit, backend=self.name,
+                           samples=samples, rejected=rejected)
+
+
+def score_function(measurer: "Measurer", function: Function,
+                   estimate: Optional[PerformanceEstimate],
+                   input_buffers: Dict[str, np.ndarray]
+                   ) -> Tuple[float, Optional[Measurement],
+                              Optional[MeasurementError]]:
+    """Score one kernel for a search: ``(score, measurement, error)``.
+
+    This is the one place the search-time measurement policy lives, shared
+    by :class:`~repro.slingen.generator.SLinGen` and the
+    :class:`~repro.tuning.tuner.Autotuner`: inputs are synthesized lazily
+    into ``input_buffers`` (mutated in place so every candidate of one
+    search runs on identical data), and a :class:`MeasurementError` maps
+    to an infinite score -- a variant that cannot be measured can never
+    win, but must not abort the search (scores from a different backend
+    would not be comparable, so there is no model-score fallback).
+    """
+    if not input_buffers:
+        input_buffers.update(synthesize_inputs(function))
+    try:
+        measurement = measurer.measure(function, estimate=estimate,
+                                       inputs=input_buffers)
+    except MeasurementError as exc:
+        return float("inf"), None, exc
+    return measurement.score, measurement, None
+
+
+#: Name -> backend class, for :func:`resolve_measurer` and the CLI.
+MEASURERS = {
+    "model": ModelMeasurer,
+    "interpreter": InterpreterMeasurer,
+    "compiled": CompiledMeasurer,
+}
+
+
+def measurer_names() -> List[str]:
+    return ["auto"] + sorted(MEASURERS)
+
+
+def resolve_measurer(spec: "str | Measurer | None" = None,
+                     machine: Optional[MicroArchitecture] = None) -> Measurer:
+    """Resolve a measurement backend.
+
+    ``spec`` may be a :class:`Measurer` instance (returned as-is), a
+    backend name, ``"auto"``, or ``None`` -- which consults the
+    ``REPRO_TUNE_BACKEND`` environment variable before defaulting to
+    ``"auto"``.  Auto-selection walks :data:`FALLBACK_ORDER` and picks the
+    first backend whose requirements the environment satisfies; explicitly
+    naming an unavailable backend raises :class:`MeasurementError`.
+    """
+    if isinstance(spec, Measurer):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, "").strip() or "auto"
+    spec = spec.lower()
+    if spec == "auto":
+        for name in FALLBACK_ORDER:
+            if MEASURERS[name].available():
+                spec = name
+                break
+    cls = MEASURERS.get(spec)
+    if cls is None:
+        raise MeasurementError(
+            f"unknown measurement backend {spec!r}; "
+            f"known: {', '.join(measurer_names())}")
+    if not cls.available():
+        raise MeasurementError(
+            f"measurement backend {spec!r} is not available here "
+            f"(no C compiler?)")
+    if cls is ModelMeasurer:
+        return ModelMeasurer(machine=machine)
+    return cls()

@@ -1,0 +1,290 @@
+"""Search strategies over the joint variant space of the autotuner.
+
+The space is the cross product of the Stage-1 algorithmic choices (one
+Cl1ck variant dictionary per point on the first axis) and the
+code-generation variants of :mod:`repro.lgen.tiling` (second axis).  A
+:class:`TuningPoint` is one coordinate pair; strategies only ever see
+points and a scalar ``evaluate(point) -> score`` callback (lower is
+better), so they are independent of how candidates are built or measured.
+
+Every strategy
+
+* evaluates the *default* point ``(0, 0)`` first, so the search result can
+  never be worse than the default configuration under the measurement used
+  for the search (the baseline score is part of every tuning record);
+* memoizes evaluations, so revisiting a point costs no budget;
+* is deterministic for a fixed seed -- required for reproducible tuning
+  records.
+
+``make_strategy("hill-climb", seed=3)`` resolves names used by the CLI and
+the generator.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import AutotuningError
+
+
+@dataclass(frozen=True, order=True)
+class TuningPoint:
+    """One coordinate of the joint search space."""
+
+    stage1: int
+    codegen: int
+
+    @property
+    def label(self) -> str:
+        return f"s{self.stage1}c{self.codegen}"
+
+
+class SearchSpace:
+    """The joint Stage-1 x code-generation grid.
+
+    ``codegen_variants`` may be any sequence; when its elements provide a
+    ``differing_fields`` method (:class:`~repro.lgen.tiling.CodegenVariant`
+    does), the hill-climbing neighborhood on the codegen axis connects
+    variants that differ in exactly one knob; otherwise adjacent indices
+    are neighbors.
+    """
+
+    def __init__(self, stage1_count: int, codegen_variants: Sequence[object]):
+        if stage1_count < 1 or not codegen_variants:
+            raise AutotuningError("search space must have at least one point")
+        self.stage1_count = stage1_count
+        self.codegen_variants = list(codegen_variants)
+
+    @property
+    def codegen_count(self) -> int:
+        return len(self.codegen_variants)
+
+    @property
+    def size(self) -> int:
+        return self.stage1_count * self.codegen_count
+
+    def points(self) -> List[TuningPoint]:
+        """Every point, deterministically ordered, default point first."""
+        return [TuningPoint(s, c)
+                for s in range(self.stage1_count)
+                for c in range(self.codegen_count)]
+
+    def _codegen_neighbors(self, index: int) -> List[int]:
+        variants = self.codegen_variants
+        probe = getattr(variants[index], "differing_fields", None)
+        if probe is None:
+            return [j for j in (index - 1, index + 1)
+                    if 0 <= j < len(variants)]
+        return [j for j in range(len(variants))
+                if j != index and probe(variants[j]) == 1]
+
+    def neighbors(self, point: TuningPoint) -> List[TuningPoint]:
+        """Points one step away: any other Stage-1 choice (same codegen),
+        or a codegen variant differing in exactly one knob."""
+        found = [TuningPoint(s, point.codegen)
+                 for s in range(self.stage1_count) if s != point.stage1]
+        found.extend(TuningPoint(point.stage1, c)
+                     for c in self._codegen_neighbors(point.codegen))
+        return found
+
+
+@dataclass
+class Trial:
+    """One evaluated point."""
+
+    point: TuningPoint
+    score: float
+
+
+@dataclass
+class SearchOutcome:
+    """What a strategy hands back: the winner plus the full trial log."""
+
+    best: TuningPoint
+    best_score: float
+    trials: List[Trial] = field(default_factory=list)
+    strategy: str = ""
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.trials)
+
+    @property
+    def baseline_score(self) -> float:
+        """Score of the default point (always the first trial)."""
+        return self.trials[0].score if self.trials else float("nan")
+
+
+class _Session:
+    """Budgeted, memoizing evaluation log shared by all strategies."""
+
+    def __init__(self, evaluate: Callable[[TuningPoint], float],
+                 budget: Optional[int]):
+        self._evaluate = evaluate
+        self.budget = budget
+        self.scores: Dict[TuningPoint, float] = {}
+        self.trials: List[Trial] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self.budget is not None and len(self.trials) >= self.budget
+
+    def eval(self, point: TuningPoint) -> Optional[float]:
+        """Score a point; ``None`` once the budget is spent (memoized
+        revisits are free and never return None)."""
+        if point in self.scores:
+            return self.scores[point]
+        if self.exhausted:
+            return None
+        score = float(self._evaluate(point))
+        self.scores[point] = score
+        self.trials.append(Trial(point, score))
+        return score
+
+    def outcome(self, strategy: str) -> SearchOutcome:
+        if not self.trials:
+            raise AutotuningError(
+                f"strategy {strategy!r} evaluated no candidates")
+        best = min(self.trials, key=lambda t: t.score)
+        return SearchOutcome(best=best.point, best_score=best.score,
+                             trials=list(self.trials), strategy=strategy)
+
+
+class SearchStrategy(abc.ABC):
+    """Picks which points of a :class:`SearchSpace` to evaluate."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def search(self, space: SearchSpace,
+               evaluate: Callable[[TuningPoint], float],
+               budget: Optional[int] = None) -> SearchOutcome:
+        """Run the search; ``budget`` bounds unique evaluations."""
+
+
+class TwoPhaseSearch(SearchStrategy):
+    """The paper-style model-driven search (and the backward-compatible
+    default of :class:`~repro.slingen.generator.SLinGen`): phase 1 scores
+    every Stage-1 choice with the default code generation, phase 2 scores
+    the remaining codegen variants for the best algorithm."""
+
+    name = "two-phase"
+
+    def search(self, space, evaluate, budget=None):
+        session = _Session(evaluate, budget)
+        best_stage1, best_score = 0, float("inf")
+        for s in range(space.stage1_count):
+            score = session.eval(TuningPoint(s, 0))
+            if score is None:
+                break
+            if score < best_score:
+                best_stage1, best_score = s, score
+        for c in range(1, space.codegen_count):
+            if session.eval(TuningPoint(best_stage1, c)) is None:
+                break
+        return session.outcome(self.name)
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Every point in deterministic order, stopping at the budget."""
+
+    name = "exhaustive"
+
+    def search(self, space, evaluate, budget=None):
+        session = _Session(evaluate, budget)
+        for point in space.points():
+            if session.eval(point) is None:
+                break
+        return session.outcome(self.name)
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling without replacement (after the default point)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def search(self, space, evaluate, budget=None):
+        session = _Session(evaluate, budget)
+        points = space.points()
+        session.eval(points[0])
+        rest = points[1:]
+        random.Random(self.seed).shuffle(rest)
+        for point in rest:
+            if session.eval(point) is None:
+                break
+        return session.outcome(self.name)
+
+
+class HillClimbSearch(SearchStrategy):
+    """First-improvement hill climbing with random restarts.
+
+    Starts at the default point, repeatedly moves to the first neighbor
+    that improves on the current score, and restarts at a random unvisited
+    point when stuck, until the budget is spent or the space is exhausted.
+    """
+
+    name = "hill-climb"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def search(self, space, evaluate, budget=None):
+        session = _Session(evaluate, budget)
+        rng = random.Random(self.seed)
+        current = TuningPoint(0, 0)
+        if session.eval(current) is None:
+            return session.outcome(self.name)
+        while not session.exhausted:
+            moved = False
+            for neighbor in space.neighbors(current):
+                fresh = neighbor not in session.scores
+                score = session.eval(neighbor)
+                if score is None:
+                    break
+                if fresh and score < session.scores[current]:
+                    current = neighbor
+                    moved = True
+                    break
+            if moved:
+                continue
+            unvisited = [p for p in space.points()
+                         if p not in session.scores]
+            if not unvisited or session.exhausted:
+                break
+            current = rng.choice(unvisited)
+            if session.eval(current) is None:
+                break
+        return session.outcome(self.name)
+
+
+#: CLI-facing strategy names (factories, so seeded strategies stay pure).
+STRATEGIES = {
+    "two-phase": lambda seed: TwoPhaseSearch(),
+    "exhaustive": lambda seed: ExhaustiveSearch(),
+    "random": RandomSearch,
+    "hill-climb": HillClimbSearch,
+}
+
+
+def strategy_names() -> List[str]:
+    return sorted(STRATEGIES)
+
+
+def make_strategy(name: "str | SearchStrategy",
+                  seed: int = 0) -> SearchStrategy:
+    """Resolve a strategy name (or pass an instance through)."""
+    if isinstance(name, SearchStrategy):
+        return name
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise AutotuningError(
+            f"unknown search strategy {name!r}; "
+            f"known: {', '.join(strategy_names())}")
+    return factory(seed)

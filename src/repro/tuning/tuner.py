@@ -1,0 +1,210 @@
+"""The empirical autotuner: search, measure, remember.
+
+:class:`Autotuner` ties the subsystem together: it builds candidate
+implementations over the joint Stage-1 x code-generation space (reusing
+the generator's :class:`~repro.slingen.generator.CandidateBuilder`),
+scores them with a :class:`~repro.tuning.measure.Measurer`, walks the
+space with a :class:`~repro.tuning.strategies.SearchStrategy`, and
+persists the winner as a :class:`~repro.tuning.db.TuningRecord` so later
+:class:`~repro.service.service.KernelService` requests for the same
+*(program, machine)* generate with the tuned options instead of searching
+again.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..applications.cases import BenchmarkCase
+from ..errors import AutotuningError
+from ..ir.program import Program
+from ..machine.microarch import MicroArchitecture, default_machine
+from ..slingen.generator import CandidateBuilder
+from ..slingen.options import Options
+from ..slingen.stage1 import enumerate_variant_choices, find_hlac_sites
+from ..lgen.tiling import candidate_variants, dedupe_resolved
+from .db import TUNED_OPTION_FIELDS, TuningDB, TuningRecord, tuning_key
+from .measure import Measurer, resolve_measurer, score_function
+from .strategies import SearchStrategy, make_strategy
+
+
+def tuned_option_values(options: Options, candidate) -> Dict[str, object]:
+    """The :data:`TUNED_OPTION_FIELDS` values that replay ``candidate``.
+
+    Folds the winning :class:`~repro.lgen.tiling.CodegenVariant` back into
+    plain option fields (variant toggles compose with the base options by
+    conjunction, exactly as :func:`~repro.slingen.generator.build_candidate`
+    applies them).
+    """
+    codegen = candidate.codegen
+    vectorized = codegen.vector_width > 1
+    values = {
+        "vectorize": vectorized,
+        "vector_width": (codegen.vector_width if vectorized
+                         else options.vector_width),
+        "block_size": (codegen.block_size if codegen.block_size is not None
+                       else options.block_size),
+        "unroll_trip_count": codegen.unroll_trip_count,
+        "unroll_body_limit": codegen.unroll_body_limit,
+        "use_shuffle_transpose": codegen.use_shuffle_transpose,
+        "load_store_analysis": (options.load_store_analysis
+                                and codegen.load_store_analysis),
+        "scalar_replacement": (options.scalar_replacement
+                               and codegen.scalar_replacement),
+    }
+    # Keyed through the constant so this mapping and record.apply() cannot
+    # drift apart silently: a knob added to one but not the other raises.
+    return {name: values[name] for name in TUNED_OPTION_FIELDS}
+
+
+class Autotuner:
+    """Measurement-driven variant search with persistent results."""
+
+    def __init__(self, db: Optional[TuningDB] = None,
+                 machine: Optional[MicroArchitecture] = None,
+                 measurer: "str | Measurer | None" = None,
+                 strategy: "str | SearchStrategy" = "hill-climb",
+                 budget: int = 16, seed: int = 0):
+        """``db=None`` keeps results in memory only (nothing persisted).
+        ``measurer=None`` auto-selects by environment (compiled timing when
+        a C compiler exists, interpreter operation counts otherwise;
+        ``REPRO_TUNE_BACKEND`` overrides)."""
+        self.db = db
+        self.machine = machine or default_machine()
+        self.measurer = resolve_measurer(measurer, machine=self.machine)
+        self.strategy = make_strategy(strategy, seed=seed)
+        self.budget = max(1, budget)
+        self.seed = seed
+
+    # -- tuning --------------------------------------------------------------
+
+    def tune(self, program: Program, options: Optional[Options] = None,
+             inputs: Optional[Dict[str, np.ndarray]] = None,
+             nominal_flops: Optional[float] = None,
+             label: Optional[str] = None) -> TuningRecord:
+        """Search the joint variant space of ``program`` and persist the
+        winner (when the tuner has a database).
+
+        ``inputs`` are the numpy buffers the empirical backends execute on
+        (synthesized deterministically when omitted); they never influence
+        the model backend.
+        """
+        options = (options or Options()).validate()
+        program.validate()
+        block_size = options.effective_block_size
+
+        sites = find_hlac_sites(program, block_size)
+        stage1_choices = enumerate_variant_choices(
+            sites, max_candidates=self.budget)
+        codegen_variants = dedupe_resolved(
+            candidate_variants(vectorize=options.vectorize), block_size)
+
+        builder = CandidateBuilder(
+            program, options, self.machine, stage1_choices, codegen_variants,
+            nominal_flops=nominal_flops)
+        trials_meta: Dict[str, Dict[str, object]] = {}
+        input_buffers: Dict[str, np.ndarray] = dict(inputs or {})
+
+        def evaluate(point) -> float:
+            candidate = builder.candidate(point)
+            meta: Dict[str, object] = {
+                "label": candidate.label,
+                "stage1": point.stage1,
+                "codegen": point.codegen,
+                "model_cycles": candidate.cycles,
+            }
+            score, measurement, error = score_function(
+                self.measurer, candidate.function, candidate.estimate,
+                input_buffers)
+            if error is not None:
+                # One variant failing to compile or time must not abort
+                # the whole session.  (``score: None`` in the persisted
+                # trial log -- infinity is not valid JSON.)
+                meta["score"] = None
+                meta["error"] = str(error)
+            else:
+                meta["score"] = score
+                meta["rejected_samples"] = measurement.rejected
+            trials_meta[point.label] = meta
+            return score
+
+        outcome = self.strategy.search(builder.space(), evaluate,
+                                       budget=self.budget)
+        if not math.isfinite(outcome.best_score):
+            raise AutotuningError(
+                f"every measured candidate of {label or program.name!r} "
+                f"failed on the {self.measurer.name!r} backend")
+        best = builder.candidate(outcome.best)
+        baseline_score = outcome.baseline_score
+        if not math.isfinite(baseline_score):
+            # The default configuration itself failed to measure; the best
+            # score is the only honest finite reference (records must stay
+            # valid JSON, so no infinities).
+            baseline_score = outcome.best_score
+        key = tuning_key(program, self.machine,
+                         vectorize=options.vectorize)
+        record = TuningRecord(
+            key=key,
+            program_name=program.name,
+            label=label or program.name,
+            strategy=outcome.strategy,
+            backend=self.measurer.name,
+            unit=self.measurer.unit,
+            budget=self.budget,
+            seed=self.seed,
+            evaluations=outcome.evaluations,
+            best_label=best.label,
+            best_score=outcome.best_score,
+            baseline_score=baseline_score,
+            options=tuned_option_values(options, best),
+            stage1_variants=dict(best.stage1.variant_choices),
+            trials=[trials_meta[t.point.label] for t in outcome.trials],
+        )
+        if self.db is not None:
+            self.db.put(key, record)
+        return record
+
+    def tune_case(self, case: BenchmarkCase,
+                  options: Optional[Options] = None,
+                  label: Optional[str] = None) -> TuningRecord:
+        """Tune one registry/benchmark case, measuring on its canonical
+        inputs (the same buffers the correctness checks use)."""
+        return self.tune(case.program, options=options,
+                         inputs=case.make_inputs(seed=17),
+                         nominal_flops=case.nominal_flops,
+                         label=label or f"{case.name}:{case.size}")
+
+    # -- consumption ---------------------------------------------------------
+
+    def tuned_options(self, program: Program, base: Optional[Options] = None,
+                      tune_if_missing: bool = True,
+                      case: Optional[BenchmarkCase] = None
+                      ) -> Optional[Options]:
+        """Generation options honoring the tuned record for ``program``.
+
+        Consults the database first (tuning is idempotent per key); on a
+        miss, runs a tuning session when ``tune_if_missing`` -- using the
+        case's canonical inputs when one is supplied -- and otherwise
+        returns None.
+        """
+        base = (base or Options()).validate()
+        record = None
+        if self.db is not None:
+            record = self.db.get(tuning_key(program, self.machine,
+                                            vectorize=base.vectorize))
+        if record is None:
+            if not tune_if_missing:
+                return None
+            if case is not None:
+                record = self.tune_case(case, options=base)
+            else:
+                record = self.tune(program, options=base)
+        return record.apply(base)
+
+    def tuned_options_for_case(self, case: BenchmarkCase,
+                               base: Optional[Options] = None) -> Options:
+        """Tuned options for a benchmark case (tuning it on first use)."""
+        return self.tuned_options(case.program, base=base, case=case)
