@@ -1,0 +1,135 @@
+"""Execution-backend benchmark: interpreter vs NumPy vs compiled C.
+
+For each (kernel, size) the same generated C-IR function is executed on
+every available backend and timed (median seconds per call); all backends
+must agree element-wise within 1e-12, and the NumPy translation must be
+at least 10x faster than the C-IR interpreter (the whole point of the
+backend: real numeric verification and benchmarking without a compiler,
+at speeds the interpreter cannot reach).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_numpy_backend.py
+        [--sizes N ...] [--kernels K ...] [--json FILE] [--output FILE]
+
+``--json`` writes machine-readable records ``{kernel, size, backend,
+median_seconds}`` (the CI perf-smoke artifact ``BENCH_ci.json``);
+``--output`` writes the text table (default ``results/backend_numpy.txt``
+when run from the repository root, printed to stdout otherwise).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+MIN_NUMPY_SPEEDUP = 10.0
+TOLERANCE = 1e-12
+DEFAULT_KERNELS = ["potrf", "gemm"]
+DEFAULT_SIZES = [4, 8]
+
+
+def bench_one(name: str, size: int, repeats: int):
+    """Time one kernel on every available backend; returns (rows, fail)."""
+    import numpy as np
+
+    from repro.applications import make_case
+    from repro.backend import compiler_available, make_executor
+    from repro.slingen import Options, SLinGen
+
+    case = make_case(name, size)
+    result = SLinGen(Options(annotate_code=False)).generate_result(
+        case.program, nominal_flops=case.nominal_flops)
+    inputs = case.make_inputs(seed=17)
+
+    backends = ["interpreter", "numpy"]
+    if compiler_available():
+        backends.append("compiled")
+
+    rows = []
+    outputs = {}
+    for backend in backends:
+        kernel = make_executor(result.function, backend=backend,
+                               c_code=result.c_code)
+        outputs[backend] = kernel.run(inputs)
+        seconds = statistics.median(kernel.time(inputs, repeats=repeats))
+        rows.append({"kernel": name, "size": size, "backend": backend,
+                     "median_seconds": seconds})
+
+    fail = None
+    reference = outputs["interpreter"]
+    for backend in backends[1:]:
+        for key in reference:
+            deviation = float(np.max(np.abs(outputs[backend][key]
+                                            - reference[key])))
+            if deviation > TOLERANCE:
+                fail = (f"{name}:{size} {backend} deviates from the "
+                        f"interpreter by {deviation:.3e} on {key!r}")
+    timing = {row["backend"]: row["median_seconds"] for row in rows}
+    speedup = timing["interpreter"] / max(timing["numpy"], 1e-12)
+    if fail is None and speedup < MIN_NUMPY_SPEEDUP:
+        fail = (f"{name}:{size} numpy backend only {speedup:.1f}x faster "
+                f"than the interpreter (expected >= "
+                f"{MIN_NUMPY_SPEEDUP:.0f}x)")
+    return rows, fail
+
+
+def run(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+", default=DEFAULT_KERNELS)
+    parser.add_argument("--sizes", nargs="+", type=int,
+                        default=DEFAULT_SIZES)
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write records as JSON (CI artifact)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the text table to FILE "
+                             "(default: results/backend_numpy.txt when "
+                             "that directory exists)")
+    args = parser.parse_args(argv)
+
+    lines = [f"{'kernel':10s} {'backend':12s} {'median us/call':>15s} "
+             f"{'vs interpreter':>15s}"]
+    records = []
+    failures = []
+    for name in args.kernels:
+        for size in args.sizes:
+            rows, fail = bench_one(name, size, args.repeats)
+            records.extend(rows)
+            timing = {r["backend"]: r["median_seconds"] for r in rows}
+            for backend in timing:
+                ratio = timing["interpreter"] / max(timing[backend], 1e-12)
+                lines.append(
+                    f"{name + ':' + str(size):10s} {backend:12s} "
+                    f"{timing[backend] * 1e6:15.1f} {ratio:14.1f}x")
+            if fail:
+                failures.append(fail)
+
+    table = "\n".join(lines)
+    print(table)
+    output = args.output
+    if output is None and os.path.isdir("results"):
+        output = os.path.join("results", "backend_numpy.txt")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write("[backend_numpy]  execution backends, median "
+                         "seconds per call\n" + table + "\n")
+        print(f"wrote {output}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json} ({len(records)} records)")
+
+    for fail in failures:
+        print(f"FAIL: {fail}")
+    if failures:
+        return 1
+    print(f"OK: numpy backend >= {MIN_NUMPY_SPEEDUP:.0f}x faster than the "
+          f"interpreter and all backends agree within {TOLERANCE:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,13 +1,13 @@
 """Benchmark computations of the paper as LA programs with reference oracles."""
 
 from .cases import (APPLICATION_CASES, HLAC_CASES, BenchmarkCase,
-                    all_case_names, gpr_case, kf_case, l1a_case, make_case,
-                    potrf_case, trlya_case, trsyl_case, trtri_case,
-                    KF_SOURCE, GPR_SOURCE, L1A_SOURCE)
+                    all_case_names, gemm_case, gpr_case, kf_case, l1a_case,
+                    make_case, potrf_case, trlya_case, trsm_case, trsyl_case,
+                    trtri_case, KF_SOURCE, GPR_SOURCE, L1A_SOURCE)
 
 __all__ = [
     "APPLICATION_CASES", "HLAC_CASES", "BenchmarkCase", "all_case_names",
-    "gpr_case", "kf_case", "l1a_case", "make_case", "potrf_case",
-    "trlya_case", "trsyl_case", "trtri_case",
+    "gemm_case", "gpr_case", "kf_case", "l1a_case", "make_case",
+    "potrf_case", "trlya_case", "trsm_case", "trsyl_case", "trtri_case",
     "KF_SOURCE", "GPR_SOURCE", "L1A_SOURCE",
 ]

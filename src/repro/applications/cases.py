@@ -70,6 +70,55 @@ def potrf_case(n: int) -> BenchmarkCase:
                          checked_outputs={"U": "upper"}, size=n, kind="hlac")
 
 
+def gemm_case(n: int) -> BenchmarkCase:
+    """Matrix multiply-accumulate ``C = A B + C`` (the workhorse sBLAC)."""
+    source = """
+    Mat A(n, n) <In>;
+    Mat B(n, n) <In>;
+    Mat C(n, n) <InOut>;
+    C = A * B + C;
+    """
+    program = parse_program(source, {"n": n}, name=f"gemm_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"A": rng.standard_normal((n, n)),
+                "B": rng.standard_normal((n, n)),
+                "C": rng.standard_normal((n, n))}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"C": inputs["A"] @ inputs["B"] + inputs["C"]}
+
+    return BenchmarkCase(name="gemm", program=program,
+                         nominal_flops=ref.cost_gemm(n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"C": "full"}, size=n, kind="hlac")
+
+
+def trsm_case(n: int) -> BenchmarkCase:
+    """Triangular solve with matrix right-hand side ``L X = B``."""
+    source = """
+    Mat L(n, n) <In, LoTri, NS>;
+    Mat B(n, n) <In>;
+    Mat X(n, n) <Out>;
+    L * X = B;
+    """
+    program = parse_program(source, {"n": n}, name=f"trsm_{n}")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {"L": ref.random_lower_triangular(n, rng),
+                "B": rng.standard_normal((n, n))}
+
+    def oracle(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"X": ref.trsm(inputs["L"], inputs["B"], lower=True)}
+
+    return BenchmarkCase(name="trsm", program=program,
+                         nominal_flops=ref.cost_trsm(n, n),
+                         make_inputs=make_inputs, reference=oracle,
+                         checked_outputs={"X": "full"}, size=n, kind="hlac")
+
+
 def trsyl_case(n: int) -> BenchmarkCase:
     """Triangular Sylvester equation ``L X + X U = C``."""
     source = """
@@ -329,6 +378,8 @@ def l1a_case(n: int) -> BenchmarkCase:
 
 HLAC_CASES: Dict[str, Callable[[int], BenchmarkCase]] = {
     "potrf": potrf_case,
+    "gemm": gemm_case,
+    "trsm": trsm_case,
     "trsyl": trsyl_case,
     "trlya": trlya_case,
     "trtri": trtri_case,

@@ -1,0 +1,165 @@
+"""Command-line front-end of the execution backends.
+
+Usage (``PYTHONPATH=src python -m repro.backend <command>``)::
+
+    crosscheck SPEC ... [--backends B[,B...]] [--tol T] [--scalar]
+        Generate each workload and execute it on every requested backend
+        (interpreter / numpy / compiled), asserting that all backends
+        agree element-wise within the tolerance.  Exits non-zero on any
+        disagreement -- this is the cross-backend differential job CI
+        runs on every push.
+
+    emit SPEC [--format c|numpy|numpy-vectorized] [--scalar]
+        Print the generated artifact for one workload: the emitted C or
+        the NumPy-backend Python translation.
+
+A SPEC is ``name:size`` (``potrf:4``) or ``name:sizexk`` (``kf:4x4``) --
+the same workload addresses the kernel service and the tuner use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..slingen.generator import SLinGen
+from ..slingen.options import Options
+from . import EXECUTORS, compiler_available, make_executor
+from .numpy_backend import translate_function
+
+#: Tolerance of the differential check.  All three backends implement the
+#: same double-precision operation sequence, so they agree to rounding
+#: error; 1e-12 absolute leaves ~3 decimal digits of headroom over pure
+#: accumulation noise without masking real divergence.
+DEFAULT_TOLERANCE = 1e-12
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.backend",
+        description="Differentially test and inspect kernel execution "
+                    "backends.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cross = sub.add_parser(
+        "crosscheck",
+        help="run workloads on every backend and assert agreement")
+    cross.add_argument("specs", nargs="+", metavar="SPEC",
+                       help="workloads to check, e.g. potrf:4 gemm:8 kf:4x4")
+    cross.add_argument("--backends", default="auto",
+                       help="comma-separated backend list, or 'auto' "
+                            "(interpreter,numpy + compiled when $CC "
+                            "resolves)")
+    cross.add_argument("--tol", type=float, default=DEFAULT_TOLERANCE,
+                       help=f"max |a - b| between any two backends "
+                            f"(default {DEFAULT_TOLERANCE:g})")
+    cross.add_argument("--scalar", action="store_true",
+                       help="check scalar (non-vectorized) kernels")
+    cross.add_argument("--seed", type=int, default=17,
+                       help="input-generation seed")
+
+    emit = sub.add_parser("emit", help="print a generated artifact")
+    emit.add_argument("spec", metavar="SPEC")
+    emit.add_argument("--format", default="numpy",
+                      choices=("c", "numpy", "numpy-vectorized"))
+    emit.add_argument("--scalar", action="store_true")
+    return parser
+
+
+def _resolve_backends(text: str) -> List[str]:
+    if text == "auto":
+        backends = ["interpreter", "numpy"]
+        if compiler_available():
+            backends.append("compiled")
+        return backends
+    backends = [name.strip() for name in text.split(",") if name.strip()]
+    for name in backends:
+        if name not in EXECUTORS:
+            raise ReproError(
+                f"unknown backend {name!r}; known: {', '.join(EXECUTORS)}")
+    if len(backends) < 2:
+        raise ReproError("crosscheck needs at least two backends")
+    return backends
+
+
+def _generate(spec_text: str, scalar: bool):
+    from ..service.registry import build_case, parse_spec
+    case = build_case(parse_spec(spec_text))
+    options = Options(vectorize=not scalar, annotate_code=False)
+    result = SLinGen(options).generate_result(
+        case.program, nominal_flops=case.nominal_flops)
+    return case, result
+
+
+def _max_deviation(a: Dict[str, np.ndarray],
+                   b: Dict[str, np.ndarray]) -> float:
+    worst = 0.0
+    for name in a:
+        worst = max(worst, float(np.max(np.abs(a[name] - b[name]))))
+    return worst
+
+
+def _cmd_crosscheck(args: argparse.Namespace) -> int:
+    backends = _resolve_backends(args.backends)
+    failures = 0
+    for text in args.specs:
+        case, result = _generate(text, args.scalar)
+        inputs = case.make_inputs(seed=args.seed)
+        outputs = {
+            backend: make_executor(result.function, backend=backend,
+                                   c_code=result.c_code).run(inputs)
+            for backend in backends}
+        worst = 0.0
+        worst_pair = ""
+        for i, first in enumerate(backends):
+            for second in backends[i + 1:]:
+                deviation = _max_deviation(outputs[first], outputs[second])
+                if deviation > worst:
+                    worst = deviation
+                    worst_pair = f"{first} vs {second}"
+        agreed = worst <= args.tol
+        if not agreed:
+            failures += 1
+        print(f"{text:12s} {'/'.join(backends):32s} "
+              f"max |delta| {worst:.3e}"
+              f"{'  (' + worst_pair + ')' if worst_pair else '':28s} "
+              f"{'ok' if agreed else 'DISAGREE'}")
+    if failures:
+        print(f"{failures} of {len(args.specs)} workloads disagree beyond "
+              f"{args.tol:g}", file=sys.stderr)
+        return 1
+    print(f"all {len(args.specs)} workloads agree across "
+          f"{len(backends)} backends within {args.tol:g}")
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    _, result = _generate(args.spec, args.scalar)
+    if args.format == "c":
+        print(result.c_code, end="")
+    else:
+        mode = "vectorized" if args.format == "numpy-vectorized" \
+            else "unrolled"
+        print(translate_function(result.function, mode=mode), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "crosscheck":
+            return _cmd_crosscheck(args)
+        if args.command == "emit":
+            return _cmd_emit(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

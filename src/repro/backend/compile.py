@@ -91,17 +91,11 @@ class CompiledKernel:
              warmup: int = 2, inner: int = 32) -> List[float]:
         """Time the kernel: ``repeats`` samples of seconds-per-call.
 
-        Buffers and argument pointers are prepared once; each sample times
-        a batch of ``inner`` calls (small kernels finish well below the
-        timer resolution) and reports the mean call time.  Writable buffers
-        are restored from pristine copies before every call -- inside the
-        timed region, so the (constant) restore cost is identical across
-        candidate kernels and cancels in comparisons -- keeping iterative
-        kernels like factorizations numerically sane across calls.  The
-        first ``warmup`` batches are run but not recorded (icache, branch
-        predictors, frequency ramp-up).
+        Buffers and argument pointers are prepared once, then the shared
+        batched protocol of :func:`repro.timing.batched_time` runs --
+        writable buffers restored from pristine copies before every call.
         """
-        import time as _time
+        from ..timing import batched_time
 
         symbol = self._symbol()
         work, arguments = self._prepare_buffers(inputs)
@@ -109,18 +103,13 @@ class CompiledKernel:
             array.copy() if buf.writable else None
             for buf, array in zip(self.function.params, work)]
 
-        def run_batch() -> float:
-            started = _time.perf_counter()
-            for _ in range(inner):
-                for array, original in zip(work, pristine):
-                    if original is not None:
-                        array[...] = original
-                symbol(*arguments)
-            return (_time.perf_counter() - started) / inner
+        def restore() -> None:
+            for array, original in zip(work, pristine):
+                if original is not None:
+                    array[...] = original
 
-        for _ in range(warmup):
-            run_batch()
-        return [run_batch() for _ in range(repeats)]
+        return batched_time(lambda: symbol(*arguments), restore,
+                            repeats, warmup, inner)
 
 
 def default_object_cache_dir() -> str:

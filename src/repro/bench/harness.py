@@ -117,9 +117,59 @@ def generator_options(vectorize: bool = True, autotune: bool = True,
                    max_variants=max_variants, annotate_code=False)
 
 
+def measure_kernel_seconds(generated, case: BenchmarkCase,
+                           executor: str = "numpy",
+                           repeats: int = 5, kernel=None) -> float:
+    """Median wall-clock seconds per call of a generated kernel.
+
+    ``executor`` names an execution backend (``"numpy"``, ``"compiled"``,
+    ``"interpreter"``, or ``"auto"``); the kernel runs on the case's own
+    input distribution so timings reflect realistic operand values.
+    ``kernel`` (an already-built executor kernel) skips the build, letting
+    callers time and validate with one artifact.
+    """
+    import statistics
+
+    if kernel is None:
+        kernel = generated.kernel(executor)
+    samples = kernel.time(case.make_inputs(seed=17), repeats=repeats)
+    return statistics.median(samples)
+
+
+def empirical_flops_per_cycle(seconds: float, flops: float,
+                              machine: MicroArchitecture) -> float:
+    """Measured performance in the figures' unit (flops/cycle), converting
+    wall-clock seconds at the machine model's nominal frequency."""
+    if seconds <= 0.0:
+        return float("nan")
+    return flops / (seconds * machine.frequency_ghz * 1e9)
+
+
+def _performance_and_kernel(generated, case: BenchmarkCase,
+                            executor: Optional[str],
+                            cache_key: Optional[str],
+                            machine: MicroArchitecture):
+    """The reported performance of one generated case, and the executor
+    kernel that produced it (None for the model path).
+
+    The single place the model-vs-measured switch lives: with no
+    ``executor`` (or ``"model"``) the roofline estimate is reported; a
+    backend name builds exactly one kernel -- content-addressed by the
+    service ``cache_key`` when available -- which timing and validation
+    then share.
+    """
+    if executor is None or executor == "model":
+        return generated.performance.flops_per_cycle, None
+    kernel = generated.kernel(executor, cache_key=cache_key)
+    seconds = measure_kernel_seconds(generated, case, kernel=kernel)
+    return empirical_flops_per_cycle(
+        seconds, case.nominal_flops, machine), kernel
+
+
 def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
                     machine: Optional[MicroArchitecture] = None,
-                    validate: bool = False, service=None, tuner=None):
+                    validate: bool = False, service=None, tuner=None,
+                    executor: Optional[str] = None):
     """Generate code for one case and return (result, f/c, correct?).
 
     With a :class:`~repro.service.service.KernelService` as ``service``,
@@ -131,22 +181,35 @@ def measure_slingen(case: BenchmarkCase, options: Optional[Options] = None,
     is empirically tuned first (idempotent when the tuner has a database)
     and generation uses the tuned-best options, so a figure can report the
     model-picked and the measurement-picked kernel side by side.
+
+    ``executor`` switches the reported performance from the machine-model
+    estimate (the default, the paper's methodology) to an actual timed
+    execution on the named backend -- ``executor="numpy"`` produces the
+    figure series on machines with no C compiler.  Validation also runs
+    on that backend.
     """
     if tuner is not None:
         _check_tuner_machine(tuner, service, machine)
         options = tuner.tuned_options_for_case(
             case, options or generator_options())
+    cache_key = None
     if service is not None:
         from ..service.service import GenerationRequest
-        generated = service.generate(GenerationRequest.from_case(
-            case, options=options or generator_options())).result
+        response = service.generate(GenerationRequest.from_case(
+            case, options=options or generator_options()))
+        generated = response.result
+        cache_key = response.key
+        machine = service.machine
     else:
         machine = machine or default_machine()
         generator = SLinGen(options or generator_options(), machine=machine)
         generated = generator.generate_result(
             case.program, nominal_flops=case.nominal_flops)
-    correct = check_case(case, generated) if validate else None
-    return generated, generated.performance.flops_per_cycle, correct
+    performance, kernel = _performance_and_kernel(
+        generated, case, executor, cache_key, machine)
+    correct = check_case(case, generated, kernel=kernel) if validate \
+        else None
+    return generated, performance, correct
 
 
 def _check_tuner_machine(tuner, service, machine) -> None:
@@ -162,10 +225,24 @@ def _check_tuner_machine(tuner, service, machine) -> None:
             "construct the Autotuner with machine=service.machine")
 
 
-def check_case(case: BenchmarkCase, generated) -> bool:
-    """Run the generated kernel (interpreter) against the case's oracle."""
+def check_case(case: BenchmarkCase, generated,
+               executor: Optional[str] = None, kernel=None) -> bool:
+    """Run the generated kernel against the case's oracle.
+
+    ``executor`` picks the execution backend (default: the C-IR
+    interpreter, the reference semantics; ``"numpy"`` is an order of
+    magnitude faster and what the figure scripts use when validating
+    whole sweeps).  ``kernel`` (an already-built executor kernel) wins
+    over ``executor`` so a timing pass and a validation pass can share
+    one build.
+    """
     inputs = case.make_inputs(seed=17)
-    outputs = generated.run(inputs)
+    if kernel is not None:
+        outputs = kernel.run(inputs)
+    elif executor is None or executor in ("model", "interpreter"):
+        outputs = generated.run(inputs)
+    else:
+        outputs = generated.kernel(executor).run(inputs)
     expected = case.reference_outputs(inputs)
     correct = True
     for key, mode in case.checked_outputs.items():
@@ -184,7 +261,7 @@ def run_series(case_name: str, sizes: Sequence[int],
                machine: Optional[MicroArchitecture] = None,
                baselines: Optional[List[str]] = None,
                validate: bool = False, service=None,
-               tuner=None) -> Series:
+               tuner=None, executor: Optional[str] = None) -> Series:
     """Run one figure: SLinGen + all baselines over a size sweep.
 
     ``service`` (a :class:`~repro.service.service.KernelService`) routes
@@ -196,6 +273,9 @@ def run_series(case_name: str, sizes: Sequence[int],
     case before the batch generation -- empirical measurements cannot
     safely run concurrently on one machine anyway; pre-tune with
     ``python -m repro.tuning tune`` to make this step a database lookup.
+    ``executor`` (an execution backend name, e.g. ``"numpy"``) reports
+    measured instead of modeled performance for the SLinGen series, as in
+    :func:`measure_slingen`.
     """
     machine = service.machine if service is not None \
         else (machine or default_machine())
@@ -215,17 +295,20 @@ def run_series(case_name: str, sizes: Sequence[int],
                 c, options=(tuner.tuned_options_for_case(c, base_options)
                             if tuner is not None else base_options))
             for c in cases])
-        results = [r.result for r in responses]
+        results = [(r.result, r.key) for r in responses]
     else:
         results = [None] * len(cases)
     for case, pregenerated in zip(cases, results):
         if pregenerated is not None:
-            generated = pregenerated
-            ours = generated.performance.flops_per_cycle
-            correct = check_case(case, generated) if validate else None
+            generated, cache_key = pregenerated
+            ours, kernel = _performance_and_kernel(
+                generated, case, executor, cache_key, machine)
+            correct = check_case(case, generated, kernel=kernel) \
+                if validate else None
         else:
-            generated, ours, correct = measure_slingen(case, options, machine,
-                                                       validate, tuner=tuner)
+            generated, ours, correct = measure_slingen(
+                case, options, machine, validate, tuner=tuner,
+                executor=executor)
         performance = {"slingen": ours}
         cycles = {"slingen": generated.performance.cycles}
         for baseline in (baselines if baselines is not None

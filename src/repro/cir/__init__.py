@@ -1,7 +1,7 @@
 """C-IR: C-like intermediate representation, passes and interpreter."""
 
 from .builder import CIRBuilder, NameAllocator
-from .interpreter import Interpreter, run_function
+from .interpreter import Interpreter, InterpreterKernel, run_function
 from .nodes import (Affine, Assign, BinOp, Buffer, CExpr, Comment, CStmt,
                     FloatConst, For, Function, If, Load, ScalarVar, Store,
                     UnOp, VBinOp, VBlend, VBroadcast, VecVar, VExtract, VFma,
@@ -10,7 +10,8 @@ from .nodes import (Affine, Assign, BinOp, Buffer, CExpr, Comment, CStmt,
 from .passes import PassOptions, PassReport, run_pipeline
 
 __all__ = [
-    "CIRBuilder", "NameAllocator", "Interpreter", "run_function",
+    "CIRBuilder", "NameAllocator", "Interpreter", "InterpreterKernel",
+    "run_function",
     "Affine", "Assign", "BinOp", "Buffer", "CExpr", "Comment", "CStmt",
     "FloatConst", "For", "Function", "If", "Load", "ScalarVar", "Store",
     "UnOp", "VBinOp", "VBlend", "VBroadcast", "VecVar", "VExtract", "VFma",

@@ -26,6 +26,33 @@ from .nodes import (Affine, Assign, BinOp, Buffer, CExpr, Comment, CStmt,
 Value = Union[float, np.ndarray]
 
 
+def coerce_input(buffer: Buffer, value: np.ndarray,
+                 error: type = InterpreterError) -> np.ndarray:
+    """Coerce one caller-supplied input to the buffer's flat float64 form.
+
+    The single definition of the input-shape rules every execution
+    backend accepts (scalars for 1x1 buffers, 1-D vectors promoted to the
+    buffer's row/column orientation, exact 2-D shapes otherwise): the
+    interpreter and :class:`~repro.backend.numpy_backend.NumPyKernel`
+    must agree on what inputs mean, or differential runs would compare
+    kernels fed different data.  ``error`` selects the exception type the
+    calling backend reports.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1, 1)
+    if arr.ndim == 1:
+        if buffer.cols == 1:
+            arr = arr.reshape(-1, 1)
+        else:
+            arr = arr.reshape(1, -1)
+    if arr.shape != (buffer.rows, buffer.cols):
+        raise error(
+            f"input {buffer.name!r} has shape {arr.shape}, expected "
+            f"{(buffer.rows, buffer.cols)}")
+    return arr.flatten().astype(np.float64)
+
+
 class Interpreter:
     """Executes a :class:`~repro.cir.nodes.Function` on numpy buffers."""
 
@@ -60,19 +87,7 @@ class Interpreter:
         storage: Dict[str, np.ndarray] = {}
         for buf in self.function.params:
             if buf.name in inputs:
-                arr = np.asarray(inputs[buf.name], dtype=np.float64)
-                if arr.ndim == 0:
-                    arr = arr.reshape(1, 1)
-                if arr.ndim == 1:
-                    if buf.cols == 1:
-                        arr = arr.reshape(-1, 1)
-                    else:
-                        arr = arr.reshape(1, -1)
-                if arr.shape != (buf.rows, buf.cols):
-                    raise InterpreterError(
-                        f"input {buf.name!r} has shape {arr.shape}, expected "
-                        f"{(buf.rows, buf.cols)}")
-                storage[buf.name] = arr.flatten().astype(np.float64)
+                storage[buf.name] = coerce_input(buf, inputs[buf.name])
             elif buf.kind == "in" or buf.kind == "inout":
                 raise InterpreterError(f"missing input buffer {buf.name!r}")
             else:
@@ -314,6 +329,40 @@ class Interpreter:
         if width is None:
             width = 1
         return np.full(width, float(value), dtype=np.float64)
+
+
+class InterpreterKernel:
+    """The interpreter behind the executable-kernel contract.
+
+    Adapter giving C-IR interpretation the same ``run``/``time`` surface
+    as :class:`~repro.backend.compile.CompiledKernel` and
+    :class:`~repro.backend.numpy_backend.NumPyKernel`, so callers (the
+    bench harness, the cross-backend differential checker) can treat
+    "interpreter" as just another execution backend.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._interpreter = Interpreter(function)
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return self._interpreter.run(inputs)
+
+    __call__ = run
+
+    def time(self, inputs: Dict[str, np.ndarray], repeats: int = 5,
+             warmup: int = 1, inner: int = 1) -> list:
+        """Wall-clock seconds per interpreted call (``repeats`` samples),
+        via the shared protocol of :func:`repro.timing.batched_time`.
+
+        The interpreter copies its input buffers on every :meth:`run`, so
+        the restore step is a no-op; ``inner`` defaults to 1 because
+        interpreted calls are slow enough to time individually.
+        """
+        from ..timing import batched_time
+
+        return batched_time(lambda: self._interpreter.run(inputs),
+                            lambda: None, repeats, warmup, inner)
 
 
 def run_function(function: Function,

@@ -146,6 +146,10 @@ def cost_potrf(n: int) -> float:
     return n ** 3 / 3.0
 
 
+def cost_gemm(n: int) -> float:
+    return 2.0 * n ** 3
+
+
 def cost_trsm(n: int, nrhs: int) -> float:
     return n * n * nrhs
 

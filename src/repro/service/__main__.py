@@ -3,6 +3,8 @@
 Usage (``PYTHONPATH=src python -m repro.service <command>``)::
 
     warm  [SPEC ...] [--scalar] [--no-autotune] [--workers N] [--serial]
+    run   SPEC ... [--backend auto|compiled|numpy|interpreter]
+                                    # generate (or hit) and actually execute
     query SPEC ...                  # key + hit/miss, no generation
     ls                              # list cached entries
     stats                           # store statistics
@@ -24,6 +26,8 @@ import argparse
 import json
 import sys
 from typing import List, Optional
+
+import numpy as np
 
 from ..errors import ReproError
 from ..slingen.options import Options
@@ -58,6 +62,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="worker pool size for misses")
     warm.add_argument("--serial", action="store_true",
                       help="generate misses one at a time")
+
+    run = sub.add_parser("run", help="generate (or hit) workloads and "
+                                     "execute them on synthesized inputs")
+    run.add_argument("specs", nargs="+", metavar="SPEC")
+    run.add_argument("--scalar", action="store_true")
+    run.add_argument("--no-autotune", action="store_true")
+    run.add_argument("--max-variants", type=int, default=6)
+    run.add_argument("--backend", default="auto",
+                     choices=("auto", "compiled", "numpy", "interpreter"),
+                     help="execution backend (default: auto -- compiled "
+                          "when $CC resolves, numpy otherwise)")
+    run.add_argument("--repeats", type=int, default=5,
+                     help="timing samples per workload")
 
     query = sub.add_parser("query", help="look up workloads without "
                                          "generating")
@@ -102,6 +119,36 @@ def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
           f"{summary['hits']} hits, {summary['misses']} generated "
           f"({summary['coalesced']} coalesced)")
     return 0
+
+
+def _cmd_run(service: KernelService, args: argparse.Namespace) -> int:
+    """Generate (cache-first) and *execute* workloads: the zero-compiler
+    proof that a served kernel actually runs, with wall-clock timing."""
+    import statistics
+
+    from ..tuning.measure import synthesize_inputs
+
+    options = _options_from(args)
+    failures = 0
+    for text in args.specs:
+        for request in sweep_requests([text], options=options):
+            response = service.generate(request)
+            kernel = response.kernel(args.backend)
+            inputs = synthesize_inputs(response.result.function)
+            outputs = kernel.run(inputs)
+            finite = all(bool(np.all(np.isfinite(v)))
+                         for v in outputs.values())
+            if not finite:
+                failures += 1
+            seconds = statistics.median(
+                kernel.time(inputs, repeats=args.repeats))
+            state = "hit " if response.cache_hit else "MISS"
+            print(f"{request.label:14s} {state}  "
+                  f"{type(kernel).__name__:17s} "
+                  f"{seconds * 1e6:10.1f} us/call  "
+                  f"outputs={','.join(sorted(outputs))} "
+                  f"{'ok' if finite else 'NON-FINITE'}")
+    return 1 if failures else 0
 
 
 def _cmd_query(service: KernelService, args: argparse.Namespace) -> int:
@@ -166,6 +213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "warm":
             return _cmd_warm(service, args)
+        if args.command == "run":
+            return _cmd_run(service, args)
         if args.command == "query":
             return _cmd_query(service, args)
         if args.command == "ls":

@@ -78,6 +78,18 @@ class ServiceResponse:
     label: Optional[str] = None
     tuned: bool = False             # generated with TuningDB-best options
 
+    def kernel(self, backend: str = "auto"):
+        """A runnable kernel for this response's generated code.
+
+        ``backend`` is ``"compiled"``, ``"numpy"``, ``"interpreter"``, or
+        ``"auto"`` (compiled when ``$CC`` resolves, the portable NumPy
+        translation otherwise -- so a service client always gets a real,
+        fast executable even on machines with no C compiler).  Compiled
+        artifacts are content-addressed by this response's cache key, so
+        repeated calls reuse the shared object / generated source.
+        """
+        return self.result.kernel(backend, cache_key=self.key)
+
 
 #: How many of the most recent per-request records ServiceStats keeps;
 #: aggregate counters are unbounded, the record log is a window.

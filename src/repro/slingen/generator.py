@@ -107,6 +107,27 @@ class GenerationResult:
                                 cache_key=cache_key)
         return kernel.run(inputs)
 
+    def run_numpy(self, inputs: Dict[str, np.ndarray],
+                  cache_key: Optional[str] = None) -> Dict[str, np.ndarray]:
+        """Execute the generated kernel via its NumPy translation -- real
+        (fast) execution with no C compiler required."""
+        return self.kernel("numpy", cache_key=cache_key).run(inputs)
+
+    def kernel(self, backend: str = "auto",
+               cache_key: Optional[str] = None):
+        """An executable kernel on the chosen backend.
+
+        ``backend`` is ``"compiled"``, ``"numpy"``, ``"interpreter"``, or
+        ``"auto"`` (compiled when a C compiler is available, NumPy
+        otherwise); the returned object has the shared
+        ``run(inputs)``/``time(inputs, ...)`` contract.  ``cache_key``
+        (the service's content hash) enables content-addressed reuse of
+        the compiled artifact.
+        """
+        from ..backend import make_executor
+        return make_executor(self.function, backend=backend,
+                             c_code=self.c_code, cache_key=cache_key)
+
     @property
     def flops_per_cycle(self) -> float:
         return self.performance.flops_per_cycle
@@ -167,6 +188,18 @@ class GeneratedCode:
         from ..backend.compile import compile_kernel
         kernel = compile_kernel(self.c_code, self.function)
         return kernel.run(inputs)
+
+    def run_numpy(self, inputs: Dict[str, np.ndarray]
+                  ) -> Dict[str, np.ndarray]:
+        """Execute the generated kernel via its NumPy translation."""
+        return self.kernel("numpy").run(inputs)
+
+    def kernel(self, backend: str = "auto"):
+        """An executable kernel on the chosen backend (see
+        :meth:`GenerationResult.kernel`)."""
+        from ..backend import make_executor
+        return make_executor(self.function, backend=backend,
+                             c_code=self.c_code)
 
     @property
     def flops_per_cycle(self) -> float:

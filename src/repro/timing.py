@@ -1,0 +1,44 @@
+"""The one batched-timing protocol shared by every execution backend.
+
+:class:`~repro.backend.compile.CompiledKernel`,
+:class:`~repro.backend.numpy_backend.NumPyKernel`, and
+:class:`~repro.cir.interpreter.InterpreterKernel` all expose
+``time(inputs, repeats, warmup, inner)``; keeping the measurement loop in
+one place guarantees their samples stay comparable -- the autotuner's
+measurement backends and the bench harness rank kernels across backends,
+so a protocol change (warmup handling, where the restore sits relative to
+the timer) must apply to all of them at once.
+
+Kept in a leaf module (like :mod:`repro.ioutil`) so both :mod:`repro.cir`
+and :mod:`repro.backend` can share it without layering inversions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+
+def batched_time(invoke: Callable[[], None], restore: Callable[[], None],
+                 repeats: int, warmup: int, inner: int) -> List[float]:
+    """Time ``invoke``: ``repeats`` samples of seconds-per-call.
+
+    Each sample times a batch of ``inner`` calls (tiny kernels finish well
+    below the timer resolution) and reports the mean call time.
+    ``restore`` runs before every call -- *inside* the timed region, so
+    its (constant) cost is identical across candidate kernels and cancels
+    in comparisons -- returning writable buffers to their pristine values,
+    which keeps iterative kernels like factorizations numerically sane
+    across calls.  The first ``warmup`` batches run untimed (icache,
+    branch predictors, frequency ramp-up).
+    """
+    def run_batch() -> float:
+        started = time.perf_counter()
+        for _ in range(inner):
+            restore()
+            invoke()
+        return (time.perf_counter() - started) / inner
+
+    for _ in range(warmup):
+        run_batch()
+    return [run_batch() for _ in range(repeats)]

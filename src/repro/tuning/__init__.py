@@ -4,8 +4,9 @@ persistent tuning database.
 The subsystem has four layers:
 
 * :mod:`repro.tuning.measure` -- interchangeable measurement backends
-  (compiled wall-clock timing, interpreter operation counts, the roofline
-  model), auto-selected by environment;
+  (compiled wall-clock timing, NumPy-translation wall-clock timing,
+  interpreter operation counts, the roofline model), auto-selected by
+  environment;
 * :mod:`repro.tuning.strategies` -- pluggable search strategies over the
   joint Stage-1 x code-generation variant space (two-phase, exhaustive,
   random, hill-climb), all deterministic under a fixed seed;
@@ -18,7 +19,7 @@ The subsystem has four layers:
 from .db import (TUNING_SCHEMA_VERSION, TuningDB, TuningRecord,
                  default_tuning_dir, tuning_key)
 from .measure import (CompiledMeasurer, InterpreterMeasurer, Measurement,
-                      Measurer, ModelMeasurer, measurer_names,
+                      Measurer, ModelMeasurer, NumPyMeasurer, measurer_names,
                       resolve_measurer, robust_score, score_function,
                       synthesize_inputs)
 from .strategies import (ExhaustiveSearch, HillClimbSearch, RandomSearch,
@@ -31,8 +32,8 @@ __all__ = [
     "TUNING_SCHEMA_VERSION", "TuningDB", "TuningRecord",
     "default_tuning_dir", "tuning_key",
     "CompiledMeasurer", "InterpreterMeasurer", "Measurement", "Measurer",
-    "ModelMeasurer", "measurer_names", "resolve_measurer", "robust_score",
-    "score_function", "synthesize_inputs",
+    "ModelMeasurer", "NumPyMeasurer", "measurer_names", "resolve_measurer",
+    "robust_score", "score_function", "synthesize_inputs",
     "ExhaustiveSearch", "HillClimbSearch", "RandomSearch", "SearchOutcome",
     "SearchSpace", "SearchStrategy", "TuningPoint", "TwoPhaseSearch",
     "make_strategy", "strategy_names",

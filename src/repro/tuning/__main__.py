@@ -3,8 +3,10 @@
 Usage (``PYTHONPATH=src python -m repro.tuning <command>``)::
 
     tune   SPEC ... [--strategy S] [--budget N] [--seed N]
-                    [--backend auto|compiled|interpreter|model] [--scalar]
-    report [SPEC ...]               # show records (all, or for the specs)
+                    [--backend auto|compiled|numpy|interpreter|model]
+                    [--scalar]
+    report [SPEC ...] [--json]      # show records (all, or for the specs);
+                                    # --json emits the stable machine schema
     export [--output FILE]          # dump every record as JSON
     purge  [--yes]                  # drop every tuning record
 
@@ -61,6 +63,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scalar", action="store_true",
                         help="look up the scalar-tuned records for the "
                              "given specs")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a machine-readable report (stable "
+                             "schema, see REPORT_SCHEMA_VERSION) instead "
+                             "of the human-readable table")
 
     export = sub.add_parser("export", help="dump records as JSON")
     export.add_argument("--output", default=None, metavar="FILE",
@@ -70,6 +76,35 @@ def _build_parser() -> argparse.ArgumentParser:
     purge.add_argument("--yes", action="store_true",
                        help="do not ask for confirmation")
     return parser
+
+
+#: Version of the ``report --json`` document.  The document is
+#: ``{"schema": N, "db_root": str, "requested": [SPEC...] | null,
+#: "missing": [SPEC...], "records": [RECORD...]}`` where each RECORD has
+#: exactly the keys of :func:`_record_json`.  Scripts and CI assert
+#: against this shape; bump the version on any incompatible change.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _record_json(record, spec: Optional[str] = None) -> dict:
+    """The stable machine-readable projection of one tuning record."""
+    return {
+        "spec": spec if spec is not None else record.label,
+        "label": record.label,
+        "program": record.program_name,
+        "key": record.key,
+        "strategy": record.strategy,
+        "backend": record.backend,
+        "unit": record.unit,
+        "budget": record.budget,
+        "seed": record.seed,
+        "evaluations": record.evaluations,
+        "best_label": record.best_label,
+        "best_score": record.best_score,
+        "baseline_score": record.baseline_score,
+        "improvement": record.improvement,
+        "created_at": record.created_at,
+    }
 
 
 def _record_line(record) -> str:
@@ -96,27 +131,43 @@ def _cmd_tune(db: TuningDB, args: argparse.Namespace) -> int:
 
 
 def _cmd_report(db: TuningDB, args: argparse.Namespace) -> int:
+    found: List[tuple] = []          # (spec-or-None, record)
+    missing: List[str] = []
     if args.specs:
         from ..service.registry import build_case, parse_spec
-        missing = 0
         for text in args.specs:
             case = build_case(parse_spec(text))
             record = db.get(tuning_key(case.program,
                                        vectorize=not args.scalar))
             if record is None:
-                missing += 1
-                print(f"{text}: no tuning record")
+                missing.append(text)
             else:
-                print(_record_line(record))
+                found.append((text, record))
+    else:
+        found = [(None, record)
+                 for record in sorted(db.records(), key=lambda r: r.label)]
+
+    if args.as_json:
+        print(json.dumps({
+            "schema": REPORT_SCHEMA_VERSION,
+            "db_root": db.root,
+            "requested": list(args.specs) or None,
+            "missing": missing,
+            "records": [_record_json(record, spec)
+                        for spec, record in found],
+        }, indent=2, sort_keys=True))
         return 1 if missing else 0
-    records = list(db.records())
-    if not records:
-        print("tuning database is empty")
-        return 0
-    for record in sorted(records, key=lambda r: r.label):
+
+    for text in missing:
+        print(f"{text}: no tuning record")
+    for _, record in found:
         print(_record_line(record))
-    print(f"{len(records)} record(s) in {db.root}")
-    return 0
+    if not args.specs:
+        if not found:
+            print("tuning database is empty")
+        else:
+            print(f"{len(found)} record(s) in {db.root}")
+    return 1 if missing else 0
 
 
 def _cmd_export(db: TuningDB, args: argparse.Namespace) -> int:

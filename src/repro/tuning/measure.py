@@ -2,23 +2,26 @@
 
 The analytical roofline model of :mod:`repro.machine.roofline` has been the
 only timing oracle of the generator so far; this module closes the loop
-with the hardware.  Three interchangeable :class:`Measurer` backends score
+with the hardware.  Four interchangeable :class:`Measurer` backends score
 a generated kernel (lower is better):
 
 * :class:`CompiledMeasurer` -- the strongest signal: compiles the emitted C
   with the system compiler (:mod:`repro.backend.compile`) and times real
   executions -- warmup calls, median of k repeats, MAD-based outlier
   rejection.  Scores are seconds per call.
+* :class:`NumPyMeasurer` -- times the kernel's NumPy translation
+  (:mod:`repro.backend.numpy_backend`) with the same warmup/median/MAD
+  protocol.  A real wall-clock signal with no compiler requirement; the
+  auto-selected backend on compiler-less machines (CI runners, containers).
 * :class:`InterpreterMeasurer` -- runs the kernel in the C-IR interpreter
   and scores it by the number of operations actually executed.  Fully
-  deterministic, available everywhere, the fallback when no C compiler is
-  installed.
+  deterministic, available everywhere, the explicit-request fallback.
 * :class:`ModelMeasurer` -- the existing roofline estimate (model cycles);
   free, since the generator computes it for every candidate anyway.
 
 :func:`resolve_measurer` picks a backend by name, honoring the
 ``REPRO_TUNE_BACKEND`` environment variable, and ``"auto"`` walks the
-fallback order ``compiled -> interpreter`` by availability.
+fallback order ``compiled -> numpy -> interpreter`` by availability.
 """
 
 from __future__ import annotations
@@ -40,13 +43,13 @@ from ..machine.microarch import MicroArchitecture
 from ..machine.roofline import PerformanceEstimate, analyze_function
 
 #: Environment variable selecting the measurement backend
-#: (``compiled``/``interpreter``/``model``/``auto``).
+#: (``compiled``/``numpy``/``interpreter``/``model``/``auto``).
 BACKEND_ENV_VAR = "REPRO_TUNE_BACKEND"
 
-#: Auto-selection order: strongest available signal wins.  The model
-#: backend never auto-selects (the interpreter is always available); it is
-#: reachable by explicit request only.
-FALLBACK_ORDER = ("compiled", "interpreter")
+#: Auto-selection order: strongest available signal wins.  The NumPy
+#: backend is always available, so the interpreter and model backends
+#: never auto-select; they are reachable by explicit request only.
+FALLBACK_ORDER = ("compiled", "numpy", "interpreter")
 
 
 @dataclass
@@ -225,6 +228,51 @@ class CompiledMeasurer(Measurer):
                            samples=samples, rejected=rejected)
 
 
+class NumPyMeasurer(Measurer):
+    """Wall-clock timing of the kernel's NumPy translation.
+
+    The same batched warmup/median protocol as :class:`CompiledMeasurer`,
+    but executing the portable Python/NumPy lowering
+    (:mod:`repro.backend.numpy_backend`) instead of compiled C -- a real
+    timing signal on machines with no C compiler.  Scores are seconds per
+    call and comparable only within this backend (Python dispatch overhead
+    is a roughly constant multiple across candidates of one kernel, so the
+    *ranking* tracks the compiled one far better than op counts do).
+    """
+
+    name = "numpy"
+    unit = "seconds"
+
+    def __init__(self, repeats: int = 9, warmup: int = 2, inner: int = 8,
+                 seed: int = 17):
+        if repeats < 1 or warmup < 0 or inner < 1:
+            raise MeasurementError(
+                f"invalid timing parameters: repeats={repeats}, "
+                f"warmup={warmup}, inner={inner}")
+        self.repeats = repeats
+        self.warmup = warmup
+        self.inner = inner
+        self.seed = seed
+
+    def measure(self, function, estimate=None, inputs=None):
+        from ..backend.numpy_backend import compile_numpy_kernel
+        from ..errors import BackendError
+        if inputs is None:
+            inputs = synthesize_inputs(function, seed=self.seed)
+        try:
+            # Identical variants hit the in-process compiled-source memo,
+            # so re-measuring costs only the (cheap) re-translation.
+            kernel = compile_numpy_kernel(function)
+            samples = kernel.time(inputs, repeats=self.repeats,
+                                  warmup=self.warmup, inner=self.inner)
+        except BackendError as exc:
+            raise MeasurementError(
+                f"numpy measurement failed: {exc}") from exc
+        score, rejected = robust_score(samples)
+        return Measurement(score=score, unit=self.unit, backend=self.name,
+                           samples=samples, rejected=rejected)
+
+
 def score_function(measurer: "Measurer", function: Function,
                    estimate: Optional[PerformanceEstimate],
                    input_buffers: Dict[str, np.ndarray]
@@ -255,6 +303,7 @@ def score_function(measurer: "Measurer", function: Function,
 MEASURERS = {
     "model": ModelMeasurer,
     "interpreter": InterpreterMeasurer,
+    "numpy": NumPyMeasurer,
     "compiled": CompiledMeasurer,
 }
 

@@ -235,9 +235,10 @@ class TestMeasurers:
         assert score == 3.0 and rejected == 0
 
     def test_fallback_order_without_compiler(self, monkeypatch):
+        from repro.tuning.measure import NumPyMeasurer
         monkeypatch.setattr(measure_mod, "compiler_available", lambda: False)
         measurer = resolve_measurer("auto")
-        assert isinstance(measurer, InterpreterMeasurer)
+        assert isinstance(measurer, NumPyMeasurer)
         with pytest.raises(MeasurementError):
             resolve_measurer("compiled")
 
