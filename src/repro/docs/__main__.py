@@ -1,0 +1,109 @@
+"""Documentation maintenance commands.
+
+Usage (``PYTHONPATH=src python -m repro.docs <command>``)::
+
+    cli-ref   [--check] [--output FILE]
+        Regenerate docs/cli.md from the argparse parsers of every
+        ``python -m repro.*`` entry point.  With ``--check``, verify the
+        committed file is current instead (exit 1 when stale) -- CI and
+        the tier-1 suite both run this.
+
+    linkcheck [FILE ...]
+        Verify every relative Markdown link in the given files (default:
+        README.md and docs/*.md) points at an existing file.  Exits 1
+        listing each broken link.
+
+Both commands are pure stdlib and run anywhere the package imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import check_links, default_doc_paths, render_cli_reference
+
+DEFAULT_OUTPUT = os.path.join("docs", "cli.md")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.docs",
+        description="Generate the CLI reference and check documentation "
+                    "links.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ref = sub.add_parser("cli-ref",
+                         help="write (or verify) the generated CLI "
+                              "reference")
+    ref.add_argument("--output", default=DEFAULT_OUTPUT, metavar="FILE",
+                     help=f"target file (default: {DEFAULT_OUTPUT})")
+    ref.add_argument("--check", action="store_true",
+                     help="verify FILE matches the parsers instead of "
+                          "writing; exit 1 when stale")
+
+    links = sub.add_parser("linkcheck",
+                           help="verify relative links in Markdown files")
+    links.add_argument("paths", nargs="*", metavar="FILE",
+                       help="Markdown files to check (default: README.md "
+                            "and docs/*.md under the current directory)")
+    links.add_argument("--root", default=".", metavar="DIR",
+                       help="repository root links must stay inside "
+                            "(default: current directory)")
+    return parser
+
+
+def _cmd_cli_ref(args: argparse.Namespace) -> int:
+    rendered = render_cli_reference()
+    if args.check:
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                committed = handle.read()
+        except OSError as exc:
+            print(f"cli-ref: cannot read {args.output}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if committed != rendered:
+            print(f"cli-ref: {args.output} is stale; regenerate with "
+                  f"`python -m repro.docs cli-ref`", file=sys.stderr)
+            return 1
+        print(f"cli-ref: {args.output} is current "
+              f"({len(rendered.splitlines())} lines)")
+        return 0
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(f"cli-ref: wrote {args.output} "
+          f"({len(rendered.splitlines())} lines)")
+    return 0
+
+
+def _cmd_linkcheck(args: argparse.Namespace) -> int:
+    root = os.path.abspath(args.root)
+    paths = args.paths or default_doc_paths(root)
+    if not paths:
+        print("linkcheck: no Markdown files found", file=sys.stderr)
+        return 1
+    broken = check_links(paths, repo_root=root)
+    for path, target in broken:
+        print(f"linkcheck: {path}: broken relative link -> {target}",
+              file=sys.stderr)
+    if broken:
+        return 1
+    print(f"linkcheck: {len(paths)} files ok")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "cli-ref":
+        return _cmd_cli_ref(args)
+    if args.command == "linkcheck":
+        return _cmd_linkcheck(args)
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

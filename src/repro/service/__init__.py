@@ -13,15 +13,20 @@ practice:
   generation with parallel batch misses and hit/miss/latency stats,
 * :mod:`~repro.service.registry` -- named workloads ("potrf:12",
   "kf:8x4") mapping the paper's benchmark cases onto service requests,
-* ``python -m repro.service`` -- CLI to warm, query, inspect, and purge
-  the cache.
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` -- the
+  HTTP serving daemon (``python -m repro.service serve``) and its
+  stdlib JSON client,
+* ``python -m repro.service`` -- CLI to warm, query, inspect, purge,
+  and serve the cache.
 """
 
+from .client import ServiceClient
 from .keys import (KEY_SCHEMA_VERSION, cache_key, canonical_options,
                    canonical_program, machine_fingerprint,
                    request_fingerprint)
 from .registry import (WorkloadSpec, build_case, default_sizes, make_request,
                        parse_spec, sweep_requests, workload_names)
+from .server import KernelServer
 from .service import (GenerationRequest, KernelService, ServiceResponse,
                       ServiceStats)
 from .store import (DiskKernelStore, KernelStore, MemoryKernelStore,
@@ -33,6 +38,7 @@ __all__ = [
     "WorkloadSpec", "build_case", "default_sizes", "make_request",
     "parse_spec", "sweep_requests", "workload_names",
     "GenerationRequest", "KernelService", "ServiceResponse", "ServiceStats",
+    "KernelServer", "ServiceClient",
     "DiskKernelStore", "KernelStore", "MemoryKernelStore",
     "default_cache_dir",
 ]

@@ -5,8 +5,10 @@ Usage (``PYTHONPATH=src python -m repro.service <command>``)::
     warm  [SPEC ...] [--scalar] [--no-autotune] [--workers N] [--serial]
     run   SPEC ... [--backend auto|compiled|numpy|interpreter]
                                     # generate (or hit) and actually execute
+    serve [--host H] [--port P] [--max-inflight N]
+                                    # long-running HTTP daemon (JSON API)
     query SPEC ...                  # key + hit/miss, no generation
-    ls                              # list cached entries
+    ls    [--shards]                # list cached entries (or shard usage)
     stats                           # store statistics
     purge [--yes]                   # drop every cached kernel
 
@@ -76,6 +78,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repeats", type=int, default=5,
                      help="timing samples per workload")
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP kernel-serving daemon")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 8177; 0 = ephemeral)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent generate/run requests admitted "
+                            "before answering 503 (default: 8)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
     query = sub.add_parser("query", help="look up workloads without "
                                          "generating")
     query.add_argument("specs", nargs="+", metavar="SPEC")
@@ -83,7 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-autotune", action="store_true")
     query.add_argument("--max-variants", type=int, default=6)
 
-    sub.add_parser("ls", help="list cached kernels")
+    ls = sub.add_parser("ls", help="list cached kernels")
+    ls.add_argument("--shards", action="store_true",
+                    help="show per-shard usage instead of entries")
     sub.add_parser("stats", help="print store statistics")
 
     purge = sub.add_parser("purge", help="drop every cached kernel")
@@ -169,7 +185,53 @@ def _cmd_query(service: KernelService, args: argparse.Namespace) -> int:
     return 1 if missing else 0
 
 
-def _cmd_ls(service: KernelService) -> int:
+def _cmd_serve(service: KernelService, args: argparse.Namespace) -> int:
+    """Run the HTTP daemon until SIGINT/SIGTERM, then shut down cleanly."""
+    import signal
+    import threading
+
+    from .server import DEFAULT_HOST, DEFAULT_PORT, KernelServer
+
+    server = KernelServer(
+        service,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        max_inflight=args.max_inflight, quiet=args.quiet)
+
+    def _stop(signum, frame):
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _stop)
+    print(f"kernel service listening on {server.url} "
+          f"(max-inflight={server.max_inflight}, "
+          f"cache={getattr(service.store, 'root', '<memory>')})",
+          flush=True)
+    server.serve_forever()
+    summary = service.stats.snapshot()
+    print(f"shut down after {summary['requests']} requests: "
+          f"{summary['hits']} hits, {summary['generations']} generated, "
+          f"{summary['coalesced']} coalesced, "
+          f"{server.rejected} rejected", flush=True)
+    return 0
+
+
+def _cmd_ls(service: KernelService, args: argparse.Namespace) -> int:
+    if args.shards:
+        shard_stats = getattr(service.store, "shard_stats", None)
+        if not callable(shard_stats):
+            print("store has no shard accounting")
+            return 1
+        shards = shard_stats()
+        for shard in sorted(shards):
+            doc = shards[shard]
+            print(f"{shard}  {doc['entries']:>5} entries  "
+                  f"{doc['bytes']:>10} B  "
+                  f"{doc['evictions']:>4} evicted  "
+                  f"lru age {doc['lru_age_s']:8.1f} s")
+        print(f"{len(shards)} shards")
+        return 0
     keys = service.store.keys()
     if not keys:
         print("cache is empty")
@@ -215,10 +277,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_warm(service, args)
         if args.command == "run":
             return _cmd_run(service, args)
+        if args.command == "serve":
+            return _cmd_serve(service, args)
         if args.command == "query":
             return _cmd_query(service, args)
         if args.command == "ls":
-            return _cmd_ls(service)
+            return _cmd_ls(service, args)
         if args.command == "stats":
             return _cmd_stats(service)
         if args.command == "purge":

@@ -1,0 +1,155 @@
+"""Stdlib HTTP client for the kernel-service daemon.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over ``urllib`` -- no dependencies beyond the
+standard library, so any Python process (a build system, a notebook, a
+load generator) can request kernels from a running daemon:
+
+    >>> client = ServiceClient("http://127.0.0.1:8177")
+    >>> client.wait_healthy()
+    >>> doc = client.generate(spec="potrf:4")
+    >>> doc["cache_hit"], doc["key"][:12], len(doc["c_code"])
+    >>> out = client.run(spec="potrf:4", backend="numpy")
+    >>> out["outputs"]["U"]          # nested lists, row-major
+
+Server-reported errors (HTTP 4xx/5xx with a JSON ``{"error": ...}`` body)
+raise :class:`~repro.errors.ServiceError` carrying the status code and the
+daemon's message; a ``503 server busy`` is retried ``busy_retries`` times
+with a short backoff before giving up, so a briefly saturated daemon
+looks slow, not broken.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from ..errors import ServiceError
+
+
+class ServiceClient:
+    """A thin JSON client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0,
+                 busy_retries: int = 12, busy_backoff_s: float = 0.05):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.busy_retries = busy_retries
+        self.busy_backoff_s = busy_backoff_s
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        attempts = self.busy_retries + 1
+        for attempt in range(attempts):
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as reply:
+                    return json.loads(reply.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code == 503 and attempt + 1 < attempts:
+                    time.sleep(self.busy_backoff_s * (attempt + 1))
+                    continue
+                raise ServiceError(
+                    f"{method} {path} failed with HTTP {exc.code}: "
+                    f"{detail}")
+            except urllib.error.URLError as exc:
+                raise ServiceError(
+                    f"cannot reach kernel server at {self.base_url}: "
+                    f"{exc.reason}")
+        raise ServiceError(f"{method} {path}: retries exhausted"
+                           )  # pragma: no cover - loop always returns/raises
+
+    @staticmethod
+    def _error_detail(exc: "urllib.error.HTTPError") -> str:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+            return str(doc.get("error", doc))
+        except Exception:
+            return exc.reason or "unknown error"
+
+    # -- monitoring ----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    def wait_healthy(self, timeout: float = 10.0,
+                     interval: float = 0.05) -> Dict[str, object]:
+        """Poll ``/healthz`` until the daemon answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    # -- work ----------------------------------------------------------------
+
+    def generate(self, spec: Optional[str] = None,
+                 source: Optional[str] = None,
+                 constants: Optional[Dict[str, int]] = None,
+                 name: Optional[str] = None,
+                 nominal_flops: Optional[float] = None,
+                 scalar: bool = False,
+                 include_code: bool = True) -> Dict[str, object]:
+        """``POST /generate``: generate (or cache-hit) one kernel."""
+        return self._request("POST", "/generate", self._body(
+            spec, source, constants, name, nominal_flops, scalar,
+            include_code=include_code))
+
+    def run(self, spec: Optional[str] = None,
+            source: Optional[str] = None,
+            constants: Optional[Dict[str, int]] = None,
+            name: Optional[str] = None,
+            nominal_flops: Optional[float] = None,
+            scalar: bool = False,
+            backend: str = "numpy",
+            inputs: Optional[Dict[str, object]] = None,
+            seed: Optional[int] = None) -> Dict[str, object]:
+        """``POST /run``: generate (or hit) and execute one kernel.
+
+        ``inputs`` maps operand names to nested lists (or anything
+        ``np.asarray`` accepts on the server); omitted operands are
+        synthesized deterministically from ``seed``.
+        """
+        body = self._body(spec, source, constants, name, nominal_flops,
+                          scalar)
+        body["backend"] = backend
+        if inputs is not None:
+            body["inputs"] = inputs
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/run", body)
+
+    @staticmethod
+    def _body(spec, source, constants, name, nominal_flops, scalar,
+              **extra) -> Dict[str, object]:
+        body: Dict[str, object] = dict(extra)
+        if spec is not None:
+            body["spec"] = spec
+        if source is not None:
+            body["source"] = source
+        if constants is not None:
+            body["constants"] = constants
+        if name is not None:
+            body["name"] = name
+        if nominal_flops is not None:
+            body["nominal_flops"] = nominal_flops
+        if scalar:
+            body["scalar"] = True
+        return body

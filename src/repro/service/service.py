@@ -1,21 +1,31 @@
 """Generation-as-a-service: cache-first kernel generation with batch fan-out.
 
 :class:`KernelService` is the front door for everything that wants generated
-kernels -- the benchmark harness, the CLI, applications.  It answers each
-request from the content-addressed store when possible and otherwise runs
-the full SLinGen pipeline, records per-request hit/miss/latency statistics,
-and fans batches of misses out over a ``concurrent.futures`` worker pool so
-a figure's whole size sweep generates in parallel.
+kernels -- the benchmark harness, the CLI, the HTTP daemon
+(:mod:`repro.service.server`), applications.  It answers each request from
+the content-addressed store when possible and otherwise runs the full
+SLinGen pipeline, records per-request hit/miss/latency statistics, and fans
+batches of misses out over a ``concurrent.futures`` worker pool so a
+figure's whole size sweep generates in parallel.
+
+The service is safe to share between threads.  Concurrent *identical*
+misses are **single-flighted**: the first caller for a content key becomes
+the leader and runs the pipeline; every other caller for the same key
+blocks on the leader's in-flight future and receives the very same
+:class:`GenerationResult` (marked ``coalesced`` in its response and in the
+stats), so N simultaneous requests for one kernel cost exactly one
+generation.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent import futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ServiceError
 from ..ir.program import Program
@@ -77,6 +87,7 @@ class ServiceResponse:
     latency_s: float
     label: Optional[str] = None
     tuned: bool = False             # generated with TuningDB-best options
+    coalesced: bool = False         # shared another request's generation
 
     def kernel(self, backend: str = "auto"):
         """A runnable kernel for this response's generated code.
@@ -98,57 +109,102 @@ STATS_RECORD_WINDOW = 1024
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters over the lifetime of one service instance."""
+    """Aggregate counters over the lifetime of one service instance.
+
+    All mutation goes through the ``note_*``/:meth:`record` methods, which
+    hold an internal lock -- the service is hammered from many threads at
+    once (batch pools, the HTTP daemon) and the counters must stay exact.
+    Reading individual attributes without the lock is fine for display;
+    :meth:`snapshot` takes the lock and returns a consistent view.
+
+    The four core counters obey two invariants:
+    ``requests == hits + misses`` (every recorded response is one or the
+    other) and ``misses == generations + coalesced`` (a store miss either
+    ran the pipeline itself or shared a generation that did -- in a batch
+    or via single-flight).
+    """
 
     requests: int = 0
-    hits: int = 0
-    misses: int = 0
-    errors: int = 0
-    coalesced: int = 0              # duplicate keys inside one batch
+    hits: int = 0                   # served from the store
+    misses: int = 0                 # not in the store when requested
+    errors: int = 0                 # requests that raised
+    generations: int = 0            # actual SLinGen pipeline executions
+    coalesced: int = 0              # misses that shared another's generation
     tuned: int = 0                  # requests answered with tuned options
     hit_latency_s: float = 0.0
     miss_latency_s: float = 0.0
     records: "deque[Dict[str, object]]" = field(
         default_factory=lambda: deque(maxlen=STATS_RECORD_WINDOW))
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    def note_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
     def record(self, response: ServiceResponse) -> None:
-        self.requests += 1
-        if response.cache_hit:
-            self.hits += 1
-            self.hit_latency_s += response.latency_s
-        else:
-            self.misses += 1
-            self.miss_latency_s += response.latency_s
-        if response.tuned:
-            self.tuned += 1
-        self.records.append({
-            "key": response.key,
-            "label": response.label,
-            "hit": response.cache_hit,
-            "tuned": response.tuned,
-            "latency_s": response.latency_s,
-        })
+        # generations/coalesced are derived here, in the same critical
+        # section as misses, so a concurrent snapshot() can never observe
+        # the documented invariants mid-update: a miss either ran the
+        # pipeline itself (a generation) or shared one (coalesced).
+        with self._lock:
+            self.requests += 1
+            if response.cache_hit:
+                self.hits += 1
+                self.hit_latency_s += response.latency_s
+            else:
+                self.misses += 1
+                self.miss_latency_s += response.latency_s
+                if response.coalesced:
+                    self.coalesced += 1
+                else:
+                    self.generations += 1
+            if response.tuned:
+                self.tuned += 1
+            self.records.append({
+                "key": response.key,
+                "label": response.label,
+                "hit": response.cache_hit,
+                "coalesced": response.coalesced,
+                "tuned": response.tuned,
+                "latency_s": response.latency_s,
+            })
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "requests": self.requests,
-            "hits": self.hits,
-            "misses": self.misses,
-            "errors": self.errors,
-            "coalesced": self.coalesced,
-            "tuned": self.tuned,
-            "hit_rate": self.hit_rate,
-            "hit_latency_s": self.hit_latency_s,
-            "miss_latency_s": self.miss_latency_s,
-            "mean_hit_latency_s": (self.hit_latency_s / self.hits
-                                   if self.hits else 0.0),
-            "mean_miss_latency_s": (self.miss_latency_s / self.misses
-                                    if self.misses else 0.0),
-        }
+        """A consistent, JSON-able view of the counters.
+
+        Schema (all keys always present): ``requests``, ``hits``,
+        ``misses``, ``errors``, ``generations``, ``coalesced``, ``tuned``
+        -- monotone integer counters as documented on the class;
+        ``hit_rate`` -- ``hits / requests`` (0.0 before any request);
+        ``hit_latency_s`` / ``miss_latency_s`` -- summed wall-clock
+        latency per outcome; ``mean_hit_latency_s`` /
+        ``mean_miss_latency_s`` -- the per-request means (0.0 when the
+        denominator is zero).  The schema only grows; existing keys keep
+        their meaning (``GET /stats`` of the HTTP daemon exposes this dict
+        verbatim under ``"service"``).
+        """
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+                "generations": self.generations,
+                "coalesced": self.coalesced,
+                "tuned": self.tuned,
+                "hit_rate": self.hit_rate,
+                "hit_latency_s": self.hit_latency_s,
+                "miss_latency_s": self.miss_latency_s,
+                "mean_hit_latency_s": (self.hit_latency_s / self.hits
+                                       if self.hits else 0.0),
+                "mean_miss_latency_s": (self.miss_latency_s / self.misses
+                                        if self.misses else 0.0),
+            }
 
 
 def _generate_payload(program: Program, options: Options,
@@ -163,6 +219,40 @@ def _generate_payload(program: Program, options: Options,
         program, nominal_flops=nominal_flops)
 
 
+class _SingleFlight:
+    """Per-key in-flight registry: one generation per key at a time.
+
+    :meth:`begin` hands the first caller for a key a fresh future and
+    leadership; every later caller for the same key gets the *same* future
+    and ``leader=False`` -- it waits on ``future.result()`` instead of
+    duplicating the work.  The leader must complete the future (result or
+    exception) and then :meth:`finish` the key so later requests start a
+    new flight (by then the result is in the store, so they hit).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "futures.Future[GenerationResult]"] = {}
+
+    def begin(self, key: str
+              ) -> "Tuple[futures.Future[GenerationResult], bool]":
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                return future, False
+            future = futures.Future()
+            self._inflight[key] = future
+            return future, True
+
+    def finish(self, key: str) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+
 class KernelService:
     """Cache-first kernel generation with parallel batch misses."""
 
@@ -171,7 +261,8 @@ class KernelService:
                  machine: Optional[MicroArchitecture] = None,
                  max_workers: Optional[int] = None,
                  executor: str = "process",
-                 tuning_db: Optional[object] = None):
+                 tuning_db: Optional[object] = None,
+                 single_flight: bool = True):
         """``executor`` selects the miss pool for :meth:`generate_many`:
         ``"process"`` (default) gives true CPU parallelism for the
         pure-Python generation pipeline; ``"thread"`` avoids process spawn
@@ -185,7 +276,12 @@ class KernelService:
         *(program, machine)* has a tuned-best entry, the request's options
         are replaced by the tuned ones before keying and generation, so a
         cache miss generates the empirically best known kernel instead of
-        re-running the model-driven search."""
+        re-running the model-driven search.
+
+        ``single_flight=False`` disables the concurrent-miss coalescing of
+        :meth:`generate` (every caller generates independently); it exists
+        for tests and for measuring what coalescing buys
+        (``benchmarks/bench_concurrent_service.py``)."""
         if executor not in ("thread", "process"):
             raise ServiceError(
                 f"executor must be 'thread' or 'process', got {executor!r}")
@@ -195,7 +291,9 @@ class KernelService:
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_kind = executor
         self.tuning_db = tuning_db
+        self.single_flight = single_flight
         self.stats = ServiceStats()
+        self._flight = _SingleFlight()
 
     # -- keys ----------------------------------------------------------------
 
@@ -238,7 +336,12 @@ class KernelService:
 
     def generate(self, request: Union[GenerationRequest, Program]
                  ) -> ServiceResponse:
-        """Answer one request, from the store when possible."""
+        """Answer one request, from the store when possible.
+
+        Thread-safe.  Concurrent misses for the same content key coalesce
+        into a single pipeline run (see the module docstring); the
+        followers' responses carry ``coalesced=True``.
+        """
         request = self._coerce(request)
         started = time.perf_counter()
         options, tuned = self._effective_options(request)
@@ -246,23 +349,73 @@ class KernelService:
                         nominal_flops=request.nominal_flops)
         result = self.store.get(key)
         hit = result is not None
+        coalesced = False
         if result is None:
-            try:
-                result = _generate_payload(request.program, options,
-                                           self.machine,
-                                           request.nominal_flops)
-            except Exception:
-                self.stats.errors += 1
-                raise
-            self.store.put(key, result,
-                           meta={"label": request.label, "tuned": tuned})
+            if self.single_flight:
+                result, coalesced = self._miss_single_flight(
+                    key, request, options, tuned)
+            else:
+                result = self._generate_and_store(key, request, options,
+                                                  tuned)
         response = ServiceResponse(
             key=key, result=result, cache_hit=hit,
             latency_s=time.perf_counter() - started,
             label=request.label or request.program.name,
-            tuned=tuned)
+            tuned=tuned, coalesced=coalesced)
         self.stats.record(response)
         return response
+
+    def _generate_and_store(self, key: str, request: GenerationRequest,
+                            options: Options, tuned: bool
+                            ) -> GenerationResult:
+        """Run the pipeline for one miss and commit the result."""
+        try:
+            result = _generate_payload(request.program, options,
+                                       self.machine, request.nominal_flops)
+        except Exception:
+            self.stats.note_error()
+            raise
+        self.store.put(key, result,
+                       meta={"label": request.label, "tuned": tuned})
+        return result
+
+    def _miss_single_flight(self, key: str, request: GenerationRequest,
+                            options: Options, tuned: bool
+                            ) -> "Tuple[GenerationResult, bool]":
+        """Resolve one miss, coalescing with any in-flight generation.
+
+        Returns ``(result, coalesced)``.  The leader re-probes the store
+        after winning the flight (another thread may have committed between
+        our miss and leadership), generates-and-stores if still absent, and
+        publishes the outcome -- success or exception -- to every waiter
+        before retiring the key.
+        """
+        future, leader = self._flight.begin(key)
+        if not leader:
+            try:
+                return future.result(), True
+            except Exception:
+                self.stats.note_error()
+                raise
+        try:
+            result = self.store.get(key)
+            # A hit here means another thread committed between our outer
+            # miss and winning the flight: we shared its generation.
+            coalesced = result is not None
+            if result is None:
+                result = self._generate_and_store(key, request, options,
+                                                  tuned)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # The waiters hold the only other references; break the cycle
+            # between this frame's exception and the future.
+            future = None
+            raise
+        else:
+            future.set_result(result)
+            return result, coalesced
+        finally:
+            self._flight.finish(key)
 
     # -- batches -------------------------------------------------------------
 
@@ -304,11 +457,14 @@ class KernelService:
             if result is None:
                 pending.setdefault(key, []).append(idx)
 
-        # One generation per unique missing key.
+        # One generation per unique missing key; the other indices of each
+        # key share it and are reported (and counted) as coalesced.
         work: List[int] = []
+        coalesced_flags = [False] * len(coerced)
         for key, indices in pending.items():
             work.append(indices[0])
-            self.stats.coalesced += len(indices) - 1
+            for dup_idx in indices[1:]:
+                coalesced_flags[dup_idx] = True
 
         def run_one(idx: int) -> GenerationResult:
             request = coerced[idx]
@@ -342,7 +498,7 @@ class KernelService:
                 if produced is None:
                     produced = [run_one(idx) for idx in work]
             except Exception:
-                self.stats.errors += 1
+                self.stats.note_error()
                 raise
             for idx, result in zip(work, produced):
                 key = keys[idx]
@@ -367,7 +523,7 @@ class KernelService:
                 key=keys[idx], result=result, cache_hit=hit_flags[idx],
                 latency_s=end - started[idx],
                 label=request.label or request.program.name,
-                tuned=tuned_flags[idx])
+                tuned=tuned_flags[idx], coalesced=coalesced_flags[idx])
             self.stats.record(response)
             responses.append(response)
         return responses

@@ -5,22 +5,46 @@ The store maps a :func:`~repro.service.keys.cache_key` to a
 
 * :class:`MemoryKernelStore` -- a bounded in-process LRU dict, useful for
   tests and for serving from a warm process without touching disk.
-* :class:`DiskKernelStore` -- the persistent backend.  Each entry is a
-  directory ``<root>/<key[:2]>/<key>/`` holding
+* :class:`DiskKernelStore` -- the persistent backend.
+
+**Sharded on-disk layout.**  Entries fan out over a two-level directory
+tree keyed by hash prefix: the entry for key ``abcdef...`` lives at
+``<root>/ab/abcdef.../``.  Keys are SHA-256 hex, so the first two
+characters spread entries uniformly over at most 256 shard directories
+and no single directory ever holds more than ~1/256th of the store --
+``os.listdir`` on a shard stays cheap no matter how many kernels
+accumulate.  The invariants of the layout:
+
+- a directory directly under ``<root>`` whose name is exactly two hex
+  characters is a shard; a committed entry found directly under the root
+  instead (``<root>/<key>/`` -- a flat layout, e.g. a backup restored by
+  hand or a root written by an external tool) is transparently migrated
+  into its shard on store construction (see ``migrated`` in
+  :meth:`DiskKernelStore.stats`), so flat roots keep working without
+  regeneration;
+- an entry directory holds three files --
 
   - ``meta.json``   -- human-readable metadata (program, variant, cycles,
     flops/cycle, sizes, creation time).  Written *last*, so it doubles as
     the commit marker: an entry without valid metadata never existed.
+    Its mtime is refreshed on every hit and is the LRU clock.
   - ``kernel.c``    -- the emitted single-source C, greppable on disk.
   - ``payload.pkl`` -- the pickled :class:`GenerationResult`.
 
-  All writes go through a temp-file + ``os.replace`` dance so concurrent
-  readers never observe a torn file.  Reads are corruption-tolerant: any
-  undecodable entry is quarantined (deleted) and reported as a miss, so a
-  crashed writer or a bit-flipped cache degrades to regeneration, never to
-  an exception.  The store is size-bounded (entries and/or bytes) with
-  least-recently-used eviction, and keeps a small in-memory hot layer so
-  repeated hits in one process skip deserialization entirely.
+- all writes go through a temp-file + ``os.replace`` dance so concurrent
+  readers never observe a torn file, and reads are corruption-tolerant:
+  any undecodable entry is quarantined (deleted) and reported as a miss,
+  so a crashed writer or a bit-flipped cache degrades to regeneration,
+  never to an exception.
+
+The store is size-bounded (entries and/or bytes) with least-recently-used
+eviction; evictions are accounted per shard
+(:meth:`DiskKernelStore.shard_stats` reports entries, bytes, eviction
+counts, and LRU age shard by shard).  A small in-memory hot layer lets
+repeated hits in one process skip deserialization entirely.  All public
+methods are thread-safe (one lock per store instance), so a single store
+can back the concurrent :class:`~repro.service.service.KernelService` and
+the HTTP daemon directly.
 
 Subclass :class:`KernelStore` to add further backends (an object store, a
 memcached tier, ...) without touching the service.
@@ -33,6 +57,8 @@ import json
 import os
 import pickle
 import shutil
+import string
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional
@@ -114,54 +140,88 @@ def _describe(key: str, result: GenerationResult,
 
 
 class MemoryKernelStore(KernelStore):
-    """A bounded, in-process LRU store (no persistence)."""
+    """A bounded, in-process LRU store (no persistence).  Thread-safe."""
 
     def __init__(self, max_entries: Optional[int] = None):
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, GenerationResult]" = OrderedDict()
         self._meta: Dict[str, Dict[str, object]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: str) -> Optional[GenerationResult]:
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
 
     def put(self, key: str, result: GenerationResult,
             meta: Optional[Dict[str, object]] = None) -> None:
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        self._meta[key] = _describe(key, result, meta)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                evicted, _ = self._entries.popitem(last=False)
-                self._meta.pop(evicted, None)
-                self.evictions += 1
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            self._meta[key] = _describe(key, result, meta)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._meta.pop(evicted, None)
+                    self.evictions += 1
 
     def delete(self, key: str) -> bool:
-        self._meta.pop(key, None)
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            self._meta.pop(key, None)
+            return self._entries.pop(key, None) is not None
 
     def keys(self) -> List[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def metadata(self, key: str) -> Optional[Dict[str, object]]:
-        return self._meta.get(key)
+        with self._lock:
+            return self._meta.get(key)
 
     def stats(self) -> Dict[str, object]:
-        return {"backend": "memory", "entries": len(self._entries),
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"backend": "memory", "entries": len(self._entries),
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
+
+
+#: Shard directories are exactly two lowercase-hex characters; anything
+#: else directly under the store root is a legacy flat entry or junk.
+_HEX_CHARS = frozenset(string.hexdigits.lower())
+
+
+def _is_shard_name(name: str) -> bool:
+    return len(name) == 2 and set(name) <= _HEX_CHARS
+
+
+def _is_key_name(name: str) -> bool:
+    """Cache keys are SHA-256 hex digests (see :mod:`repro.service.keys`);
+    flat-store migration must only touch directories named exactly that --
+    anything else at the root (a user's backup dir, notes, ...) is left
+    alone where it is visible."""
+    return len(name) == 64 and set(name) <= _HEX_CHARS
 
 
 class DiskKernelStore(KernelStore):
-    """The persistent disk backend (see module docstring for the layout)."""
+    """The persistent disk backend (see module docstring for the layout).
+
+    Thread-safe, without serializing disk traffic: a short-held lock
+    guards only the in-memory hot layer and the counters, per-entry file
+    I/O relies on the temp-file + ``os.replace`` protocol (concurrent
+    readers and writers of one entry never observe torn state, and a
+    loser's overwrite is bit-identical anyway since results are a pure
+    function of the key), and the LRU eviction scan is serialized by its
+    own lock.  Distinct-key requests from the HTTP daemon's handler
+    threads therefore proceed in parallel.
+    """
 
     META_NAME = "meta.json"
     CODE_NAME = "kernel.c"
@@ -179,29 +239,78 @@ class DiskKernelStore(KernelStore):
         except OSError as exc:
             raise StoreError(
                 f"cannot create kernel cache root {self.root!r}: {exc}")
+        self._lock = threading.Lock()        # hot layer + counters only
+        self._evict_lock = threading.Lock()  # one eviction scan at a time
         self._hot: LruMap[GenerationResult] = LruMap(hot_capacity)
         self.hot_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evictions_by_shard: Dict[str, int] = {}
         self.corrupt_dropped = 0
+        self.migrated = self._migrate_flat_entries()
 
     # -- paths ---------------------------------------------------------------
 
+    def _shard_of(self, key: str) -> str:
+        return key[:2]
+
     def _entry_dir(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], key)
+        return os.path.join(self.root, self._shard_of(key), key)
+
+    def _migrate_flat_entries(self) -> int:
+        """Move flat entries (``<root>/<key>/``) into their shards.
+
+        The sharded lookups never see an entry sitting directly under the
+        root -- which is where a hand-restored backup, an rsync of
+        individual entries, or an external writer unaware of the fanout
+        puts them.  Any committed entry found there (a directory named by
+        a full 64-hex key and containing ``meta.json``) is renamed into
+        ``<root>/<key[:2]>/``;
+        when the sharded copy already exists, the flat duplicate is simply
+        dropped.  Runs once per store construction; an already-sharded or
+        empty root is a cheap no-op scan.
+        """
+        moved = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            flat = os.path.join(self.root, name)
+            if not _is_key_name(name) or not os.path.isdir(flat):
+                continue        # shard dirs, user files: not flat entries
+            if not os.path.exists(os.path.join(flat, self.META_NAME)):
+                continue        # uncommitted debris, not an entry
+            target = os.path.join(self.root, self._shard_of(name), name)
+            if os.path.exists(target):
+                shutil.rmtree(flat, ignore_errors=True)
+                continue
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            try:
+                os.replace(flat, target)
+                moved += 1
+            except OSError:
+                # Cross-device or concurrent rename: leave the flat entry
+                # in place (it is ignored by the sharded lookups).
+                continue
+        return moved
 
     # -- KernelStore API -----------------------------------------------------
 
     def get(self, key: str) -> Optional[GenerationResult]:
-        hot = self._hot.get(key)
+        with self._lock:
+            hot = self._hot.get(key)
+            if hot is not None:
+                self.hot_hits += 1
         if hot is not None:
-            self.hot_hits += 1
             # Keep the on-disk LRU clock honest: without this, an entry
-            # served only from the hot layer looks idle to _evict() and the
-            # most-used kernels would be evicted first on bounded stores.
+            # served only from the hot layer looks idle to _evict() and
+            # the most-used kernels would be evicted first on bounded
+            # stores.
             try:
-                os.utime(os.path.join(self._entry_dir(key), self.META_NAME))
+                os.utime(os.path.join(self._entry_dir(key),
+                                      self.META_NAME))
             except OSError:
                 pass
             return hot
@@ -210,7 +319,8 @@ class DiskKernelStore(KernelStore):
         meta_path = os.path.join(entry, self.META_NAME)
         payload_path = os.path.join(entry, self.PAYLOAD_NAME)
         if not os.path.exists(meta_path):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             with open(meta_path, "r", encoding="utf-8") as handle:
@@ -225,16 +335,18 @@ class DiskKernelStore(KernelStore):
             # Torn write, truncated pickle, schema drift: quarantine the
             # entry and treat it as a miss so the caller regenerates.
             self._drop_entry(key)
-            self.corrupt_dropped += 1
-            self.misses += 1
+            with self._lock:
+                self.corrupt_dropped += 1
+                self.misses += 1
             return None
         # Touch the metadata so LRU eviction sees the access.
         try:
             os.utime(meta_path)
         except OSError:
             pass
-        self._hot.insert(key, result)
-        self.disk_hits += 1
+        with self._lock:
+            self._hot.insert(key, result)
+            self.disk_hits += 1
         return result
 
     def put(self, key: str, result: GenerationResult,
@@ -247,12 +359,14 @@ class DiskKernelStore(KernelStore):
         doc["schema"] = _schema_version()
         atomic_write_bytes(os.path.join(entry, self.CODE_NAME),
                            result.c_code.encode("utf-8"))
-        atomic_write_bytes(os.path.join(entry, self.PAYLOAD_NAME), payload)
+        atomic_write_bytes(os.path.join(entry, self.PAYLOAD_NAME),
+                           payload)
         # meta.json last: it is the commit marker.
         atomic_write_bytes(
             os.path.join(entry, self.META_NAME),
             json.dumps(doc, indent=2, sort_keys=True).encode("utf-8"))
-        self._hot.insert(key, result)
+        with self._lock:
+            self._hot.insert(key, result)
         self._evict()
 
     def delete(self, key: str) -> bool:
@@ -262,21 +376,32 @@ class DiskKernelStore(KernelStore):
         return existed
 
     def _drop_entry(self, key: str) -> None:
-        self._hot.pop(key)
+        with self._lock:
+            self._hot.pop(key)
         shutil.rmtree(self._entry_dir(key), ignore_errors=True)
+
+    def _shard_names(self) -> List[str]:
+        try:
+            return sorted(name for name in os.listdir(self.root)
+                          if _is_shard_name(name)
+                          and os.path.isdir(os.path.join(self.root, name)))
+        except OSError:
+            return []
+
+    def _shard_keys(self, shard: str) -> List[str]:
+        shard_dir = os.path.join(self.root, shard)
+        try:
+            names = sorted(os.listdir(shard_dir))
+        except OSError:
+            return []
+        return [key for key in names
+                if os.path.exists(os.path.join(shard_dir, key,
+                                               self.META_NAME))]
 
     def keys(self) -> List[str]:
         found: List[str] = []
-        if not os.path.isdir(self.root):
-            return found
-        for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for key in sorted(os.listdir(shard_dir)):
-                if os.path.exists(os.path.join(shard_dir, key,
-                                               self.META_NAME)):
-                    found.append(key)
+        for shard in self._shard_names():
+            found.extend(self._shard_keys(shard))
         return found
 
     def metadata(self, key: str) -> Optional[Dict[str, object]]:
@@ -289,9 +414,16 @@ class DiskKernelStore(KernelStore):
 
     def purge(self) -> int:
         count = len(self.keys())
-        self._hot.clear()
-        for shard in os.listdir(self.root):
-            shutil.rmtree(os.path.join(self.root, shard), ignore_errors=True)
+        with self._lock:
+            self._hot.clear()
+            self.evictions_by_shard.clear()
+        # Only the store's own directories: shards and any flat key-named
+        # leftovers.  Foreign directories at the root (the same ones
+        # migration refuses to move) survive a purge too.
+        for name in os.listdir(self.root):
+            if _is_shard_name(name) or _is_key_name(name):
+                shutil.rmtree(os.path.join(self.root, name),
+                              ignore_errors=True)
         return count
 
     # -- eviction ------------------------------------------------------------
@@ -309,45 +441,103 @@ class DiskKernelStore(KernelStore):
     def _evict(self) -> None:
         if self.max_entries is None and self.max_bytes is None:
             return
-        keys = self.keys()
-        # Oldest access first (meta.json mtime is refreshed on every hit).
-        def mtime(key: str) -> float:
-            try:
-                return os.path.getmtime(
-                    os.path.join(self._entry_dir(key), self.META_NAME))
-            except OSError:
-                return 0.0
-        keys.sort(key=mtime)
-        total_bytes = sum(self._entry_bytes(k) for k in keys) \
-            if self.max_bytes is not None else 0
-        while keys:
-            over_entries = (self.max_entries is not None
-                            and len(keys) > self.max_entries)
-            over_bytes = (self.max_bytes is not None
-                          and total_bytes > self.max_bytes)
-            if not over_entries and not over_bytes:
-                break
-            victim = keys.pop(0)
-            if self.max_bytes is not None:
-                total_bytes -= self._entry_bytes(victim)
-            self._drop_entry(victim)
-            self.evictions += 1
+        with self._evict_lock:
+            keys = self.keys()
+            # Oldest access first (meta.json mtime is refreshed on every
+            # hit).
+            def mtime(key: str) -> float:
+                try:
+                    return os.path.getmtime(
+                        os.path.join(self._entry_dir(key), self.META_NAME))
+                except OSError:
+                    return 0.0
+            keys.sort(key=mtime)
+            total_bytes = sum(self._entry_bytes(k) for k in keys) \
+                if self.max_bytes is not None else 0
+            while keys:
+                over_entries = (self.max_entries is not None
+                                and len(keys) > self.max_entries)
+                over_bytes = (self.max_bytes is not None
+                              and total_bytes > self.max_bytes)
+                if not over_entries and not over_bytes:
+                    break
+                victim = keys.pop(0)
+                if self.max_bytes is not None:
+                    total_bytes -= self._entry_bytes(victim)
+                self._drop_entry(victim)
+                shard = self._shard_of(victim)
+                with self._lock:
+                    self.evictions += 1
+                    self.evictions_by_shard[shard] = \
+                        self.evictions_by_shard.get(shard, 0) + 1
 
-    def stats(self) -> Dict[str, object]:
-        keys = self.keys()
-        total = sum(self._entry_bytes(k) for k in keys)
-        return {
-            "backend": "disk",
-            "root": self.root,
-            "entries": len(keys),
-            "bytes": total,
-            "hot_entries": len(self._hot),
-            "hot_hits": self.hot_hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "corrupt_dropped": self.corrupt_dropped,
-        }
+    def shard_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard accounting: entry/byte counts, LRU age, evictions.
+
+        One dict per populated shard (plus any shard that has seen an
+        eviction), keyed by the two-hex-character shard name:
+        ``entries`` and ``bytes`` size the shard, ``evictions`` counts
+        LRU victims taken from it over this instance's lifetime, and
+        ``lru_age_s`` is the age of its least-recently-used entry (how
+        close the shard's coldest kernel is to eviction on a bounded
+        store).
+        """
+        now = time.time()
+        with self._lock:
+            evictions_by_shard = dict(self.evictions_by_shard)
+        shards: Dict[str, Dict[str, object]] = {}
+        for shard in self._shard_names():
+            keys = self._shard_keys(shard)
+            if not keys:
+                continue
+            oldest = now
+            for key in keys:
+                try:
+                    mtime = os.path.getmtime(os.path.join(
+                        self._entry_dir(key), self.META_NAME))
+                except OSError:
+                    continue
+                oldest = min(oldest, mtime)
+            shards[shard] = {
+                "entries": len(keys),
+                "bytes": sum(self._entry_bytes(k) for k in keys),
+                "evictions": evictions_by_shard.get(shard, 0),
+                "lru_age_s": max(0.0, now - oldest),
+            }
+        for shard, count in evictions_by_shard.items():
+            shards.setdefault(shard, {"entries": 0, "bytes": 0,
+                                      "evictions": count,
+                                      "lru_age_s": 0.0})
+        return shards
+
+    def stats(self, shard_stats: Optional[Dict[str, Dict[str, object]]]
+              = None) -> Dict[str, object]:
+        """Store-wide statistics.  ``shard_stats`` (a
+        :meth:`shard_stats` result) lets a caller that already paid the
+        disk scan (e.g. ``GET /stats``) reuse it instead of walking the
+        store a second time; entries/bytes/shard counts are derived from
+        it either way, so one scan serves both views.  No disk I/O
+        happens while the hot-layer lock is held."""
+        shards = shard_stats if shard_stats is not None \
+            else self.shard_stats()
+        entries = sum(int(doc["entries"]) for doc in shards.values())
+        total = sum(int(doc["bytes"]) for doc in shards.values())
+        populated = sum(1 for doc in shards.values() if doc["entries"])
+        with self._lock:
+            return {
+                "backend": "disk",
+                "root": self.root,
+                "entries": entries,
+                "bytes": total,
+                "shards": populated,
+                "hot_entries": len(self._hot),
+                "hot_hits": self.hot_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "migrated": self.migrated,
+                "corrupt_dropped": self.corrupt_dropped,
+            }
 
 
 def _schema_version() -> int:

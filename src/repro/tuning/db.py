@@ -9,6 +9,26 @@ tuned-best settings are a property of what is computed, on which machine
 model, and within which search space (scalar vs. vector) -- independent
 of the knobs being tuned, which live in the record, not the key.
 
+**Record-composition rules.**  A record never *replaces* a caller's
+options wholesale; :meth:`TuningRecord.apply` composes it over the
+request's base options under three rules:
+
+1. **Only searched knobs transfer.**  Exactly the fields named in
+   :data:`TUNED_OPTION_FIELDS` may be overridden; request-identity
+   fields (``function_name``, ``annotate_code``, ...) always come from
+   the caller.
+2. **Capabilities compose by conjunction, widths by minimum.**  Boolean
+   optimization toggles apply as ``record AND base`` and the vector
+   width as ``min(record, base)`` -- a record can switch an optimization
+   *off* relative to what the caller allowed, but can never force one
+   the caller disabled (e.g. emit AVX intrinsics for a
+   ``vectorize=False`` request).
+3. **Applying a record ends the search.**  The result pins the record's
+   Stage-1 variant choices and sets ``autotune=False``: the tuned
+   options *are* the search outcome, so the model-driven search must not
+   second-guess them (and generation stays a pure function of the
+   effective options, which is what the kernel cache keys on).
+
 The on-disk layout mirrors the kernel store: one JSON document per record
 under ``<root>/<key[:2]>/<key>.json``, written atomically, read
 corruption-tolerantly (an undecodable record is quarantined and reported

@@ -487,3 +487,247 @@ class TestStatsAccounting:
                 [make_request("trtri:4", options=_options())],
                 parallel=False)
         assert service.stats.errors == 2
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing (concurrent generate() races)
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def _slow_counting_payload(self, monkeypatch, delay_s=0.05):
+        """Instrument _generate_payload with a call counter and a delay
+        wide enough that racing threads genuinely overlap."""
+        import threading
+
+        from repro.service import service as service_mod
+
+        real = service_mod._generate_payload
+        calls = []
+        lock = threading.Lock()
+
+        def counting(*args, **kwargs):
+            with lock:
+                calls.append(threading.get_ident())
+            time.sleep(delay_s)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_mod, "_generate_payload", counting)
+        return calls
+
+    def test_hammering_one_key_generates_exactly_once(self, monkeypatch):
+        import threading
+
+        calls = self._slow_counting_payload(monkeypatch)
+        service = KernelService(store=MemoryKernelStore(), options=_options())
+        clients = 16
+        barrier = threading.Barrier(clients)
+        responses = [None] * clients
+
+        def client(idx):
+            request = make_request("potrf:4", options=_options())
+            barrier.wait()
+            responses[idx] = service.generate(request)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(calls) == 1
+        assert service.stats.generations == 1
+        # Every thread got the identical result object via the in-flight
+        # future (not a reload), and followers are marked coalesced.
+        leader_result = responses[0].result
+        assert all(r.result is leader_result for r in responses)
+        flags = sorted(r.coalesced for r in responses)
+        assert flags == [False] + [True] * (clients - 1)
+        assert all(not r.cache_hit for r in responses)
+        snap = service.stats.snapshot()
+        assert snap["requests"] == snap["hits"] + snap["misses"]
+        assert snap["misses"] == snap["generations"] + snap["coalesced"]
+        assert snap["coalesced"] == clients - 1
+
+    def test_disabled_single_flight_duplicates_generations(self, monkeypatch):
+        import threading
+
+        calls = self._slow_counting_payload(monkeypatch)
+        service = KernelService(store=MemoryKernelStore(), options=_options(),
+                                single_flight=False)
+        clients = 4
+        barrier = threading.Barrier(clients)
+
+        def client():
+            request = make_request("potrf:4", options=_options())
+            barrier.wait()
+            service.generate(request)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All threads overlap inside the slow payload, so every one of them
+        # misses and generates independently.
+        assert len(calls) == clients
+        assert service.stats.generations == clients
+
+    def test_leader_failure_propagates_to_all_waiters(self, monkeypatch):
+        import threading
+
+        from repro.service import service as service_mod
+
+        started = threading.Event()
+
+        def boom(*args, **kwargs):
+            started.set()
+            time.sleep(0.05)
+            raise RuntimeError("synthetic generation failure")
+
+        monkeypatch.setattr(service_mod, "_generate_payload", boom)
+        service = KernelService(store=MemoryKernelStore(), options=_options())
+        clients = 6
+        barrier = threading.Barrier(clients)
+        outcomes = [None] * clients
+
+        def client(idx):
+            request = make_request("potrf:4", options=_options())
+            barrier.wait()
+            try:
+                service.generate(request)
+            except RuntimeError as exc:
+                outcomes[idx] = str(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(o == "synthetic generation failure" for o in outcomes)
+        assert service.stats.errors == clients
+        # The failed flight retired its key: a later request starts fresh.
+        assert len(service._flight) == 0
+
+    def test_sequential_requests_do_not_coalesce(self):
+        service = KernelService(store=MemoryKernelStore(), options=_options())
+        first = service.generate(make_request("potrf:4", options=_options()))
+        second = service.generate(make_request("potrf:4", options=_options()))
+        assert not first.coalesced and not first.cache_hit
+        assert not second.coalesced and second.cache_hit
+
+
+# ---------------------------------------------------------------------------
+# Sharded disk store: migration, per-shard accounting
+# ---------------------------------------------------------------------------
+
+
+class TestShardedStore:
+    def test_layout_is_two_level_fanout(self, tmp_path):
+        store = DiskKernelStore(root=str(tmp_path))
+        result = _result_for("potrf:4")
+        key = "ab" + "0" * 62
+        store.put(key, result)
+        assert os.path.isdir(tmp_path / "ab" / key)
+        assert store.get(key) is not None
+
+    def test_flat_store_migrates_transparently(self, tmp_path):
+        # Write entries through a sharded store, then flatten them to the
+        # legacy layout by hand and re-open: the constructor must migrate.
+        store = DiskKernelStore(root=str(tmp_path))
+        result = _result_for("potrf:4")
+        keys = ["aa" + "1" * 62, "bb" + "2" * 62]
+        for key in keys:
+            store.put(key, result)
+        import shutil
+        for key in keys:
+            shutil.move(str(tmp_path / key[:2] / key), str(tmp_path / key))
+            shutil.rmtree(str(tmp_path / key[:2]))
+        assert sorted(os.listdir(tmp_path)) == sorted(keys)
+
+        reopened = DiskKernelStore(root=str(tmp_path))
+        assert reopened.migrated == 2
+        assert sorted(reopened.keys()) == sorted(keys)
+        for key in keys:
+            assert not os.path.exists(tmp_path / key)
+            assert os.path.isdir(tmp_path / key[:2] / key)
+            loaded = reopened.get(key)
+            assert loaded is not None
+            assert loaded.c_code == result.c_code
+        assert reopened.stats()["migrated"] == 2
+
+    def test_migration_leaves_non_key_directories_alone(self, tmp_path):
+        # Only directories named by a full 64-hex key are flat entries;
+        # a user's backup dir must stay visible at the root, not be
+        # relocated somewhere the sharded lookups never list.
+        backup = tmp_path / "OLD_potrf"
+        backup.mkdir()
+        (backup / "meta.json").write_text("{}")
+        store = DiskKernelStore(root=str(tmp_path))
+        assert store.migrated == 0
+        assert backup.is_dir()
+        assert not (tmp_path / "OL").exists()
+
+    def test_purge_spares_non_key_directories(self, tmp_path):
+        foreign = tmp_path / "OLD_potrf"
+        foreign.mkdir()
+        (foreign / "meta.json").write_text("{}")
+        store = DiskKernelStore(root=str(tmp_path))
+        store.put("ab" + "0" * 62, _result_for("potrf:4"))
+        assert store.purge() == 1
+        assert store.keys() == []
+        assert not (tmp_path / "ab").exists()
+        assert foreign.is_dir()         # same contract as migration
+
+    def test_migration_ignores_uncommitted_debris(self, tmp_path):
+        debris = tmp_path / ("cc" + "3" * 62)
+        debris.mkdir()
+        (debris / "payload.pkl").write_bytes(b"torn write, no meta")
+        store = DiskKernelStore(root=str(tmp_path))
+        assert store.migrated == 0
+        assert store.keys() == []
+        assert debris.exists()          # left in place, never listed
+
+    def test_corrupt_entry_recovers_under_sharded_layout(self, tmp_path):
+        store = DiskKernelStore(root=str(tmp_path), hot_capacity=0)
+        result = _result_for("potrf:4")
+        key = "dd" + "4" * 62
+        store.put(key, result)
+        payload = tmp_path / "dd" / key / "payload.pkl"
+        payload.write_bytes(b"\x80corrupt")
+        assert store.get(key) is None
+        assert store.corrupt_dropped == 1
+        assert not (tmp_path / "dd" / key).exists()   # quarantined
+        # The shard directory itself survives for its siblings.
+        store.put(key, result)
+        assert store.get(key) is not None
+
+    def test_shard_stats_accounting(self, tmp_path):
+        store = DiskKernelStore(root=str(tmp_path))
+        result = _result_for("potrf:4")
+        store.put("ee" + "5" * 62, result)
+        store.put("ee" + "6" * 62, result)
+        store.put("ff" + "7" * 62, result)
+        shards = store.shard_stats()
+        assert set(shards) == {"ee", "ff"}
+        assert shards["ee"]["entries"] == 2
+        assert shards["ff"]["entries"] == 1
+        assert shards["ee"]["bytes"] > 0
+        assert shards["ee"]["lru_age_s"] >= 0.0
+        assert store.stats()["shards"] == 2
+
+    def test_eviction_is_accounted_per_shard(self, tmp_path):
+        store = DiskKernelStore(root=str(tmp_path), max_entries=2,
+                                hot_capacity=0)
+        result = _result_for("potrf:4")
+        old = "aa" + "8" * 62
+        store.put(old, result)
+        time.sleep(0.05)                # age the first entry's LRU clock
+        store.put("bb" + "9" * 62, result)
+        store.put("cc" + "a" * 62, result)
+        assert store.evictions == 1
+        assert store.evictions_by_shard == {"aa": 1}
+        assert old not in store.keys()
+        assert store.shard_stats()["aa"]["evictions"] == 1
