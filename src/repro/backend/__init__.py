@@ -25,7 +25,27 @@ from .numpy_backend import (NumPyKernel, NumPyTranslator, compile_numpy_kernel,
                             default_numpy_cache_dir, translate_function)
 
 #: Executable-backend names accepted by :func:`make_executor`.
-EXECUTORS = ("compiled", "numpy", "interpreter")
+#: ``numpy`` is the (fast) unrolled emission mode; ``numpy-vectorized``
+#: is the ndarray-slice emission mode -- a distinct execution tier the
+#: differential fuzzer and crosscheck exercise separately.
+EXECUTORS = ("compiled", "numpy", "numpy-vectorized", "interpreter")
+
+
+def resolve_backends(spec: str = "auto"):
+    """Backend-name list for a differential run.
+
+    ``"auto"`` means every portable tier (interpreter first -- it is the
+    reference semantics) plus ``compiled`` when a C compiler resolves; a
+    comma-separated list passes through verbatim.  The single definition
+    both ``python -m repro.backend crosscheck`` and the fuzz oracle use,
+    so a new tier joins every differential surface at once.
+    """
+    if spec == "auto":
+        backends = ["interpreter", "numpy", "numpy-vectorized"]
+        if compiler_available():
+            backends.append("compiled")
+        return backends
+    return [name.strip() for name in spec.split(",") if name.strip()]
 
 
 def make_executor(function: Function, backend: str = "auto",
@@ -48,6 +68,9 @@ def make_executor(function: Function, backend: str = "auto",
                               function, cache_key=cache_key)
     if backend == "numpy":
         return compile_numpy_kernel(function, cache_key=cache_key)
+    if backend == "numpy-vectorized":
+        return compile_numpy_kernel(function, cache_key=cache_key,
+                                    mode="vectorized")
     if backend == "interpreter":
         return InterpreterKernel(function)
     raise BackendError(
@@ -61,5 +84,5 @@ __all__ = [
     "find_c_compiler",
     "NumPyKernel", "NumPyTranslator", "compile_numpy_kernel",
     "default_numpy_cache_dir", "translate_function",
-    "InterpreterKernel", "EXECUTORS", "make_executor",
+    "InterpreterKernel", "EXECUTORS", "make_executor", "resolve_backends",
 ]

@@ -3,9 +3,12 @@
 Usage (``PYTHONPATH=src python -m repro.backend <command>``)::
 
     crosscheck SPEC ... [--backends B[,B...]] [--tol T] [--scalar]
+        [--seed S] [--seeds N]
         Generate each workload and execute it on every requested backend
-        (interpreter / numpy / compiled), asserting that all backends
-        agree element-wise within the tolerance.  Exits non-zero on any
+        (interpreter / numpy / numpy-vectorized / compiled), asserting
+        that all backends agree element-wise within the tolerance, for
+        ``N`` input draws starting at seed ``S`` (so agreement claims do
+        not hinge on one lucky input).  Exits non-zero on any
         disagreement -- this is the cross-backend differential job CI
         runs on every push.
 
@@ -28,7 +31,7 @@ import numpy as np
 from ..errors import ReproError
 from ..slingen.generator import SLinGen
 from ..slingen.options import Options
-from . import EXECUTORS, compiler_available, make_executor
+from . import EXECUTORS, make_executor, resolve_backends
 from .numpy_backend import translate_function
 
 #: Tolerance of the differential check.  All three backends implement the
@@ -52,15 +55,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="workloads to check, e.g. potrf:4 gemm:8 kf:4x4")
     cross.add_argument("--backends", default="auto",
                        help="comma-separated backend list, or 'auto' "
-                            "(interpreter,numpy + compiled when $CC "
-                            "resolves)")
+                            "(interpreter,numpy,numpy-vectorized + "
+                            "compiled when $CC resolves)")
     cross.add_argument("--tol", type=float, default=DEFAULT_TOLERANCE,
                        help=f"max |a - b| between any two backends "
                             f"(default {DEFAULT_TOLERANCE:g})")
     cross.add_argument("--scalar", action="store_true",
                        help="check scalar (non-vectorized) kernels")
     cross.add_argument("--seed", type=int, default=17,
-                       help="input-generation seed")
+                       help="first input-generation seed")
+    cross.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="number of input draws per workload, seeds "
+                            "seed..seed+N-1 (default 1)")
 
     emit = sub.add_parser("emit", help="print a generated artifact")
     emit.add_argument("spec", metavar="SPEC")
@@ -71,12 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve_backends(text: str) -> List[str]:
-    if text == "auto":
-        backends = ["interpreter", "numpy"]
-        if compiler_available():
-            backends.append("compiled")
-        return backends
-    backends = [name.strip() for name in text.split(",") if name.strip()]
+    backends = resolve_backends(text)
     for name in backends:
         if name not in EXECUTORS:
             raise ReproError(
@@ -104,36 +105,47 @@ def _max_deviation(a: Dict[str, np.ndarray],
 
 
 def _cmd_crosscheck(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
     backends = _resolve_backends(args.backends)
+    seeds = range(args.seed, args.seed + args.seeds)
     failures = 0
     for text in args.specs:
         case, result = _generate(text, args.scalar)
-        inputs = case.make_inputs(seed=args.seed)
-        outputs = {
+        kernels = {
             backend: make_executor(result.function, backend=backend,
-                                   c_code=result.c_code).run(inputs)
+                                   c_code=result.c_code)
             for backend in backends}
         worst = 0.0
         worst_pair = ""
-        for i, first in enumerate(backends):
-            for second in backends[i + 1:]:
-                deviation = _max_deviation(outputs[first], outputs[second])
-                if deviation > worst:
-                    worst = deviation
-                    worst_pair = f"{first} vs {second}"
+        worst_seed = args.seed
+        for seed in seeds:
+            inputs = case.make_inputs(seed=seed)
+            outputs = {backend: kernels[backend].run(inputs)
+                       for backend in backends}
+            for i, first in enumerate(backends):
+                for second in backends[i + 1:]:
+                    deviation = _max_deviation(outputs[first],
+                                               outputs[second])
+                    if deviation > worst:
+                        worst = deviation
+                        worst_pair = f"{first} vs {second}"
+                        worst_seed = seed
         agreed = worst <= args.tol
         if not agreed:
             failures += 1
+        seed_note = f" seed {worst_seed}" if args.seeds > 1 else ""
         print(f"{text:12s} {'/'.join(backends):32s} "
               f"max |delta| {worst:.3e}"
-              f"{'  (' + worst_pair + ')' if worst_pair else '':28s} "
+              f"{'  (' + worst_pair + seed_note + ')' if worst_pair else '':28s} "
               f"{'ok' if agreed else 'DISAGREE'}")
     if failures:
         print(f"{failures} of {len(args.specs)} workloads disagree beyond "
               f"{args.tol:g}", file=sys.stderr)
         return 1
     print(f"all {len(args.specs)} workloads agree across "
-          f"{len(backends)} backends within {args.tol:g}")
+          f"{len(backends)} backends and {args.seeds} input seed(s) "
+          f"within {args.tol:g}")
     return 0
 
 

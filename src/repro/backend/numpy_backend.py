@@ -60,18 +60,49 @@ from ..errors import BackendError
 
 #: Bump whenever the emitted Python changes incompatibly; stale cached
 #: sources are then simply regenerated (the digest covers this value).
-NUMPY_BACKEND_VERSION = 1
+#: v2: C semantics for sqrt(negative) -> NaN and division by zero ->
+#: inf/NaN (fuzzer-found divergences from the compiled backend).
+NUMPY_BACKEND_VERSION = 2
 
 #: Supported emission modes (see module docstring).
 MODES = ("unrolled", "vectorized")
 
 _PRELUDE_UNROLLED = """\
-from math import sqrt
+from math import copysign as _copysign, isnan as _isnan
+from math import sqrt as _math_sqrt
+
+
+def sqrt(x):
+    # C sqrt() semantics: negative arguments give NaN, not an exception.
+    x = float(x)
+    return _math_sqrt(x) if x >= 0.0 else float("nan")
+
+
+def _div(a, b):
+    # C division semantics: x/0 is a signed infinity, 0/0 is NaN
+    # (buffers are Python floats here, whose / would raise instead).
+    if b == 0.0:
+        if a == 0.0 or _isnan(a):
+            return float("nan")
+        return _copysign(float("inf"), a) * _copysign(1.0, b)
+    return a / b
 """
 
 _PRELUDE_VECTORIZED = '''\
 import numpy as np
-from math import sqrt
+from math import sqrt as _math_sqrt
+
+
+def sqrt(x):
+    # C sqrt() semantics: negative arguments give NaN, not an exception.
+    x = float(x)
+    return _math_sqrt(x) if x >= 0.0 else float("nan")
+
+
+def _div(a, b):
+    # C division semantics: x/0 is a signed infinity, 0/0 is NaN.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(a, b)
 
 
 def _maskload(buf, base, lanes, width):
@@ -372,7 +403,9 @@ class NumPyTranslator:
                     f"[{self._affine(expr.index)}]")
         if isinstance(expr, BinOp):
             left, right = self._scalar(expr.left), self._scalar(expr.right)
-            symbol = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+            if expr.op == "div":
+                return f"_div({left}, {right})"
+            symbol = {"add": "+", "sub": "-", "mul": "*"}
             if expr.op in symbol:
                 return f"({left} {symbol[expr.op]} {right})"
             return f"{expr.op}({left}, {right})"
@@ -495,7 +528,9 @@ class NumPyTranslator:
             return f"np.zeros({expr.width}, dtype=np.float64)"
         if isinstance(expr, (BinOp, VBinOp)):
             left, right = self._expr(expr.left), self._expr(expr.right)
-            symbol = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+            if expr.op == "div":
+                return f"_div({left}, {right})"
+            symbol = {"add": "+", "sub": "-", "mul": "*"}
             if expr.op in symbol:
                 return f"({left} {symbol[expr.op]} {right})"
             if isinstance(expr, VBinOp):
@@ -580,7 +615,10 @@ class NumPyKernel:
         """Execute the kernel on numpy inputs (copies, like the
         interpreter and the compiled backend)."""
         arrays = self._prepare_buffers(inputs)
-        self._callable(*arrays)
+        # C arithmetic never warns: suppress numpy's divide/overflow
+        # chatter so non-finite values just propagate IEEE-style.
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            self._callable(*arrays)
         return {buf.name: array.reshape(buf.rows, buf.cols)
                 for buf, array in zip(self.function.params, arrays)
                 if buf.writable}

@@ -28,6 +28,40 @@ class NameAllocator:
         return f"{prefix}{count}"
 
 
+#: C reserved words a generated function must not be named after (the
+#: Python side is covered by :func:`keyword.iskeyword`).
+_C_KEYWORDS = frozenset("""
+auto break case char const continue default do double else enum extern
+float for goto if inline int long register restrict return short signed
+sizeof static struct switch typedef union unsigned void volatile while
+""".split())
+
+
+def sanitize_identifier(name: str) -> str:
+    """Coerce an arbitrary program name into a valid C/Python identifier.
+
+    LA program names are free-form text (they come from the CLI, the HTTP
+    service, and file names), but they end up as the generated kernel's
+    function name in both the emitted C and the NumPy translation --
+    ``potrf-4``, ``2stage`` or ``for`` would produce artifacts that do
+    not compile (a fuzzer-found crash).  Invalid characters become
+    ``_``, and a leading digit or a C/Python keyword is prefixed, so
+    every name yields a compilable identifier while safe names pass
+    through unchanged (keeping existing cache keys and artifacts
+    stable).
+    """
+    import keyword
+
+    cleaned = name
+    if not cleaned.isidentifier():
+        cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                          for ch in cleaned)
+    if not cleaned or cleaned[0].isdigit() \
+            or keyword.iskeyword(cleaned) or cleaned in _C_KEYWORDS:
+        cleaned = f"k_{cleaned}"
+    return cleaned
+
+
 class CIRBuilder:
     """Builds a :class:`~repro.cir.nodes.Function` for an LA program.
 
@@ -41,8 +75,9 @@ class CIRBuilder:
                  vector_width: int = 1):
         self.program = program
         self.names = NameAllocator()
-        self.function = Function(name=name or f"{program.name}_kernel",
-                                 vector_width=vector_width)
+        self.function = Function(
+            name=sanitize_identifier(name or f"{program.name}_kernel"),
+            vector_width=vector_width)
         self._operand_buffers: Dict[str, Buffer] = {}
         self._build_parameter_buffers()
 

@@ -98,7 +98,10 @@ class Interpreter:
         env: Dict[str, Value] = {}
         self._storage = storage
         self.executed_ops = 0
-        self._exec_block(self.function.body, env, {})
+        # C arithmetic never warns: non-finite values propagate
+        # IEEE-style through the vector ops without numpy chatter.
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            self._exec_block(self.function.body, env, {})
 
         outputs: Dict[str, np.ndarray] = {}
         for buf in self.function.params:
@@ -201,10 +204,13 @@ class Interpreter:
             if expr.op == "neg":
                 return -value
             if expr.op == "sqrt":
+                # C's sqrt() returns NaN for negative arguments; the
+                # interpreter is the reference semantics for the compiled
+                # backend, so it must not be stricter (a fuzzer-found
+                # divergence: interpreter raised while compiled C and the
+                # NumPy backend kept running with NaN).
                 if value < 0:
-                    raise InterpreterError(
-                        f"sqrt of negative value {value} (input is probably "
-                        f"not positive definite)")
+                    return math.nan
                 return math.sqrt(value)
             raise InterpreterError(f"unknown unary op {expr.op!r}")
         if isinstance(expr, VBinOp):
@@ -283,8 +289,14 @@ class Interpreter:
         if op == "mul":
             return left * right
         if op == "div":
+            # IEEE-754 semantics, like the compiled C: x/0 is +-inf and
+            # 0/0 is NaN.  Raising here made the interpreter diverge
+            # from every other backend (a fuzzer-found crash).
             if right == 0.0:
-                raise InterpreterError("scalar division by zero")
+                if left == 0.0 or math.isnan(left):
+                    return math.nan
+                return math.copysign(math.inf, left) * math.copysign(
+                    1.0, right)
             return left / right
         if op == "max":
             return max(left, right)
@@ -301,8 +313,8 @@ class Interpreter:
         if op == "mul":
             return left * right
         if op == "div":
-            if np.any(right == 0.0):
-                raise InterpreterError("vector division by zero")
+            # IEEE-754, like the compiled C: lanes dividing by zero give
+            # +-inf / NaN instead of aborting the whole kernel.
             return left / right
         if op == "max":
             return np.maximum(left, right)

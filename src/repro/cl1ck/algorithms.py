@@ -411,6 +411,18 @@ class Synthesizer:
     # Triangular inverse:  X = T^{-1}
     # =================================================================
 
+    def _trtri_coefficient(self, op: OperationInstance, r0: int, c0: int,
+                           rows: int, cols: int) -> Expr:
+        """Block ``[r0:r0+rows, c0:c0+cols]`` of the *effective* (possibly
+        transposed) coefficient.  Reading the stored operand without
+        honouring the transpose silently inverted the wrong matrix for
+        ``X = inv(T')`` (a fuzzer-found wrong-code bug: the off-diagonal
+        reads landed in the zero triangle)."""
+        coeff = op.views["coefficient"]
+        if op.flags.get("transposed"):
+            return Transpose(ref(coeff.sub(c0, r0, cols, rows)))
+        return ref(coeff.sub(r0, c0, rows, cols))
+
     def _trtri_unblocked(self, op: OperationInstance, r0: int, r1: int,
                          stmts: List[Statement]) -> None:
         coeff, unknown = op.views["coefficient"], op.views["unknown"]
@@ -421,19 +433,19 @@ class Synthesizer:
             if lower:
                 for i in range(j + 1, r1):
                     tau_i = self._reciprocal(ref(coeff.sub(i, i, 1, 1)), stmts)
-                    row = coeff.sub(i, j, 1, i - j)
+                    row = self._trtri_coefficient(op, i, j, 1, i - j)
                     col = unknown.sub(j, j, i - j, 1)
                     stmts.append(Assign(
                         unknown.sub(i, j, 1, 1),
-                        Neg(Mul(ref(tau_i), Mul(ref(row), ref(col))))))
+                        Neg(Mul(ref(tau_i), Mul(row, ref(col))))))
             else:
                 for i in range(j - 1, r0 - 1, -1):
                     tau_i = self._reciprocal(ref(coeff.sub(i, i, 1, 1)), stmts)
-                    row = coeff.sub(i, i + 1, 1, j - i)
+                    row = self._trtri_coefficient(op, i, i + 1, 1, j - i)
                     col = unknown.sub(i + 1, j, j - i, 1)
                     stmts.append(Assign(
                         unknown.sub(i, j, 1, 1),
-                        Neg(Mul(ref(tau_i), Mul(ref(row), ref(col))))))
+                        Neg(Mul(ref(tau_i), Mul(row, ref(col))))))
 
     def _trtri(self, op: OperationInstance, variant: str) -> List[Statement]:
         coeff, unknown = op.views["coefficient"], op.views["unknown"]
@@ -451,11 +463,11 @@ class Synthesizer:
             b = min(nb, n - i)
             self._trtri_unblocked_block(op, i, i + b, stmts)
             if i > 0:
-                below_left = coeff.sub(i, 0, b, i)
+                below_left = self._trtri_coefficient(op, i, 0, b, i)
                 x00 = unknown.sub(0, 0, i, i)
                 x11 = unknown.sub(i, i, b, b)
                 temp = self._temp(b, i)
-                stmts.append(Assign(temp, Mul(ref(below_left), ref(x00))))
+                stmts.append(Assign(temp, Mul(below_left, ref(x00))))
                 stmts.append(Assign(unknown.sub(i, 0, b, i),
                                     Neg(Mul(ref(x11), ref(temp)))))
         return stmts

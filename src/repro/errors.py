@@ -95,3 +95,7 @@ class MeasurementError(AutotuningError):
 
 class TuningDBError(AutotuningError):
     """Raised on unrecoverable tuning-database failures (unusable root)."""
+
+
+class FuzzError(ReproError):
+    """Raised by the differential fuzzer on malformed cases or corpora."""

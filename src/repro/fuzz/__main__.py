@@ -1,0 +1,199 @@
+"""Command-line front-end of the differential fuzzer.
+
+Usage (``PYTHONPATH=src python -m repro.fuzz <command>``)::
+
+    run [--budget N] [--seed S] [--backends B[,B...]] [--tol T]
+        [--ref-tol T] [--no-reference] [--max-statements N]
+        [--max-size N] [--no-shrink] [--shrink-budget N] [--save DIR]
+        [--verbose]
+        Sample N random (program, options) cases from the given seed and
+        run each through the differential oracle.  Failures are shrunk
+        to minimized repros and printed (and saved under --save as
+        corpus-style JSON).  Exits 1 if any case crashed or diverged --
+        this is the budgeted fixed-seed job CI runs.
+
+    replay [FILE ...] [--corpus DIR] [--backends ...] [--tol T]
+        [--ref-tol T]
+        Re-run saved repro files (default: every entry of the committed
+        corpus, tests/fuzz_corpus/).  Every entry documents a *fixed*
+        bug, so each must come back ok; exits 1 otherwise.
+
+    corpus [--corpus DIR]
+        List the committed corpus: id, status when found, note.
+
+Seeds are deterministic: the same ``--seed``/``--budget`` always fuzzes
+the same cases, so a red run reproduces locally byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from . import corpus as corpus_mod
+from .generate import sample_case
+from .oracle import DEFAULT_REF_TOL, DEFAULT_TOL, run_case
+from .shrink import shrink_case
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differentially fuzz the LA -> C pipeline with random "
+                    "programs and options.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="fuzz N random cases; shrink and report failures")
+    run.add_argument("--budget", type=int, default=100, metavar="N",
+                     help="number of random cases to run (default 100)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="base seed; case i uses seed+i (default 0)")
+    run.add_argument("--backends", default="auto",
+                     help="comma-separated backend list, or 'auto' "
+                          "(interpreter,numpy,numpy-vectorized + compiled "
+                          "when $CC resolves)")
+    run.add_argument("--tol", type=float, default=DEFAULT_TOL,
+                     help=f"cross-backend tolerance "
+                          f"(default {DEFAULT_TOL:g})")
+    run.add_argument("--ref-tol", type=float, default=DEFAULT_REF_TOL,
+                     help=f"tolerance against the LA-level NumPy/SciPy "
+                          f"reference (default {DEFAULT_REF_TOL:g})")
+    run.add_argument("--no-reference", action="store_true",
+                     help="skip the LA-level reference check")
+    run.add_argument("--max-statements", type=int, default=5, metavar="N",
+                     help="statement budget per sampled program (default 5)")
+    run.add_argument("--max-size", type=int, default=8, metavar="N",
+                     help="largest operand dimension sampled (default 8)")
+    run.add_argument("--no-shrink", action="store_true",
+                     help="report raw failing cases without minimizing")
+    run.add_argument("--shrink-budget", type=int, default=300, metavar="N",
+                     help="oracle runs the shrinker may spend per failure "
+                          "(default 300)")
+    run.add_argument("--save", metavar="DIR",
+                     help="write minimized failures as corpus-style JSON "
+                          "entries into DIR")
+    run.add_argument("--verbose", action="store_true",
+                     help="print a line per case, not only failures")
+
+    replay = sub.add_parser(
+        "replay", help="re-run saved repros; every entry must pass")
+    replay.add_argument("paths", nargs="*", metavar="FILE",
+                        help="repro files (default: the committed corpus)")
+    replay.add_argument("--corpus", default=corpus_mod.DEFAULT_CORPUS_DIR,
+                        metavar="DIR",
+                        help="corpus directory used when no FILE is given "
+                             f"(default: {corpus_mod.DEFAULT_CORPUS_DIR})")
+    replay.add_argument("--backends", default="auto",
+                        help="comma-separated backend list or 'auto'")
+    replay.add_argument("--tol", type=float, default=DEFAULT_TOL)
+    replay.add_argument("--ref-tol", type=float, default=DEFAULT_REF_TOL)
+
+    listing = sub.add_parser("corpus", help="list the committed corpus")
+    listing.add_argument("--corpus", default=corpus_mod.DEFAULT_CORPUS_DIR,
+                         metavar="DIR",
+                         help="corpus directory "
+                              f"(default: {corpus_mod.DEFAULT_CORPUS_DIR})")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    counts = {"ok": 0, "reject": 0, "crash": 0, "divergence": 0}
+    failures = 0
+    reference = not args.no_reference
+    for index in range(args.budget):
+        seed = args.seed + index
+        case = sample_case(seed, max_statements=args.max_statements,
+                           max_size=args.max_size)
+        result = run_case(case, backends=args.backends, tol=args.tol,
+                          reference=reference, ref_tol=args.ref_tol)
+        counts[result.status] += 1
+        if args.verbose or result.failed:
+            print(f"seed {seed:8d}  {result.describe()}")
+        if not result.failed:
+            continue
+        failures += 1
+        if not args.no_shrink:
+            shrunk = shrink_case(case, result, backends=args.backends,
+                                 tol=args.tol, reference=reference,
+                                 ref_tol=args.ref_tol,
+                                 budget=args.shrink_budget)
+            case, result = shrunk.case, shrunk.result
+            print(f"  shrunk to {len(case.program.statements)} stmt(s), "
+                  f"{len(case.program.decls)} operand(s) "
+                  f"in {shrunk.attempts} attempts: {result.describe()}")
+        if args.save:
+            path = corpus_mod.save_entry(
+                case, result, note=f"found by run --seed {args.seed} "
+                                   f"(case seed {seed})",
+                directory=args.save)
+            print(f"  saved {path}")
+        else:
+            print("  repro:")
+            for line in case.dumps().rstrip().splitlines():
+                print(f"    {line}")
+    total = args.budget
+    print(f"{total} cases: {counts['ok']} ok, {counts['reject']} rejected, "
+          f"{counts['crash']} crashed, {counts['divergence']} diverged")
+    if failures:
+        print(f"{failures} unresolved failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.paths:
+        entries = [corpus_mod.load_entry(path) for path in args.paths]
+    else:
+        entries = corpus_mod.load_corpus(args.corpus)
+    if not entries:
+        print("no corpus entries found")
+        return 0
+    failures = 0
+    for entry in entries:
+        result = corpus_mod.replay_entry(entry, backends=args.backends,
+                                         tol=args.tol, ref_tol=args.ref_tol)
+        status = "ok" if not result.failed else "FAIL"
+        if result.failed:
+            failures += 1
+        note = f"  ({entry.note})" if entry.note else ""
+        print(f"{entry.entry_id}  {status:4s} "
+              f"was:{entry.found_status:10s} now:{result.describe()}{note}")
+    if failures:
+        print(f"{failures} of {len(entries)} corpus entries fail",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(entries)} corpus entries replay ok")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    entries = corpus_mod.load_corpus(args.corpus)
+    if not entries:
+        print("no corpus entries found")
+        return 0
+    for entry in entries:
+        statements = len(entry.case.program.statements)
+        print(f"{entry.entry_id}  was:{entry.found_status:10s} "
+              f"{statements} stmt(s)  {entry.note}")
+    print(f"{len(entries)} entries")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
+        return _cmd_corpus(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

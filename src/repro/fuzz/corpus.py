@@ -1,0 +1,111 @@
+"""The committed corpus of minimized fuzz repros.
+
+Every divergence or crash the fuzzer finds is shrunk and saved here as
+one JSON file -- the full :class:`~repro.fuzz.spec.FuzzCase` plus
+metadata about what was observed when it was found and a human note
+about the bug it exposed.  The corpus lives in ``tests/fuzz_corpus/``
+and replays in two ways:
+
+* ``python -m repro.fuzz replay`` -- the CLI regression gate, and
+* ``tests/test_fuzz_corpus.py`` -- one parametrized tier-1 test per
+  entry.
+
+A replayed entry must come back ``ok``: corpus entries document *fixed*
+bugs, so a red replay means a regression (or an entry committed before
+its fix).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import FuzzError
+from .oracle import (DEFAULT_REF_TOL, DEFAULT_TOL, CaseResult, run_case)
+from .spec import FuzzCase
+
+#: Corpus location relative to the repository root (the conventional
+#: working directory of every ``python -m repro.*`` invocation).
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz_corpus")
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized repro on disk."""
+
+    case: FuzzCase
+    entry_id: str
+    note: str = ""
+    found: Dict[str, object] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    @property
+    def found_status(self) -> str:
+        return str(self.found.get("status", "?"))
+
+
+def entry_id(case: FuzzCase) -> str:
+    """Content-addressed identifier of a case (stable across re-saves)."""
+    canonical = json.dumps(case.to_json(), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def save_entry(case: FuzzCase, result: CaseResult, note: str,
+               directory: str) -> str:
+    """Write one corpus entry; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    identifier = entry_id(case)
+    doc = case.to_json()
+    doc["id"] = identifier
+    doc["note"] = note
+    doc["found"] = {
+        "status": result.status,
+        "stage": result.stage,
+        "error_type": result.error_type,
+        "error": result.error[:500],
+        "worst_pair": result.worst_pair,
+        "divergent": list(result.divergent),
+    }
+    path = os.path.join(directory, f"{identifier}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FuzzError(f"cannot read corpus entry {path!r}: {exc}")
+    if not isinstance(doc, dict):
+        raise FuzzError(f"corpus entry {path!r} is not a JSON object")
+    case = FuzzCase.from_json(doc)
+    return CorpusEntry(case=case,
+                       entry_id=str(doc.get("id", entry_id(case))),
+                       note=str(doc.get("note", "")),
+                       found=dict(doc.get("found", {})),
+                       path=path)
+
+
+def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> List[CorpusEntry]:
+    """Every entry in the corpus directory, sorted by file name."""
+    if not os.path.isdir(directory):
+        return []
+    entries: List[CorpusEntry] = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            entries.append(load_entry(os.path.join(directory, name)))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry, backends: str = "auto",
+                 tol: float = DEFAULT_TOL,
+                 ref_tol: float = DEFAULT_REF_TOL) -> CaseResult:
+    """Run one corpus entry through the oracle (expected: ``ok``)."""
+    return run_case(entry.case, backends=backends, tol=tol,
+                    reference=True, ref_tol=ref_tol)

@@ -1,0 +1,426 @@
+"""Seeded random sampling of LA programs and generator options.
+
+The program sampler walks the same grammar the parser accepts (paper
+Fig. 4): random operand declarations over every kind and property the
+language knows (general / symmetric / triangular matrices, vectors,
+scalars, ``ow(...)`` storage overlays), multi-statement bodies mixing
+sBLAC expressions (sums, products, scalings, divisions, transposes,
+inner/outer products, ``sqrt``), the six supported HLAC templates
+(Cholesky both ways, triangular solve/inverse, Sylvester, Lyapunov), and
+fixed-trip-count ``for`` loops.  Statements chain: later statements may
+read anything already computed, InOut operands accumulate in place, and
+outputs may overwrite other operands.
+
+The options sampler draws from the joint Stage-1 x codegen space --
+vectorization and vector width, blocking, unrolling thresholds, the
+individual Stage-3 passes, rewrite rules, autotuning budgets, and pinned
+``stage1_variants`` (discovered per program via
+:func:`~repro.slingen.stage1.find_hlac_sites`).
+
+Everything is a pure function of the seed: ``sample_case(seed)`` always
+returns the same case, which CI relies on (fixed-seed budgeted runs) and
+tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..slingen.options import Options
+from .spec import FuzzCase, FuzzDecl, FuzzProgram
+
+#: symbolic shape: (rows-dim-name, cols-dim-name), "1" for unit
+Shape = Tuple[str, str]
+
+_SCALAR: Shape = ("1", "1")
+
+#: size distribution for dimension bindings (biased small: generation
+#: cost grows fast with size and most structure bugs show at n <= 8)
+_SIZE_POOL = (1, 2, 2, 3, 3, 4, 4, 4, 5, 5, 6, 6, 7, 8)
+
+_CONST_POOL = ("1", "2", "3", "0.5", "1.5", "0.25", "4", "0.75")
+
+
+class _ProgramBuilder:
+    """Mutable state while sampling one program."""
+
+    def __init__(self, rng: random.Random, name: str, max_size: int,
+                 max_depth: int = 3):
+        self.rng = rng
+        self.max_depth = max_depth
+        self.program = FuzzProgram(name=name)
+        self.written: set = set()
+        self._counters: Dict[str, int] = {}
+        ndims = rng.randint(1, 3)
+        for _ in range(ndims):
+            self._fresh_dim(max_size)
+
+    # -- naming / dims -------------------------------------------------------
+
+    def _fresh_name(self, prefix: str) -> str:
+        count = self._counters.get(prefix, 0)
+        self._counters[prefix] = count + 1
+        return f"{prefix}{count}"
+
+    def _fresh_dim(self, max_size: int) -> str:
+        name = self._fresh_name("n")
+        self.program.dims[name] = min(self.rng.choice(_SIZE_POOL), max_size)
+        return name
+
+    def pick_dim(self) -> str:
+        return self.rng.choice(sorted(self.program.dims))
+
+    # -- operand pool --------------------------------------------------------
+
+    def shape_of(self, decl: FuzzDecl) -> Shape:
+        if decl.kind == "Sca":
+            return _SCALAR
+        if decl.kind == "Vec":
+            return (decl.rows, "1")
+        return (decl.rows, decl.cols)
+
+    def readable(self, decl: FuzzDecl) -> bool:
+        return decl.io in ("In", "InOut") or decl.name in self.written
+
+    def readables(self, shape: Shape) -> List[FuzzDecl]:
+        return [d for d in self.program.decls
+                if self.readable(d) and self.shape_of(d) == shape]
+
+    def declare(self, kind: str, shape: Shape, io: str,
+                annotations: Optional[List[str]] = None,
+                overwrites: Optional[str] = None) -> FuzzDecl:
+        prefix = {"Mat": "A", "Vec": "x", "Sca": "s"}[kind]
+        decl = FuzzDecl(kind=kind, name=self._fresh_name(prefix),
+                        rows=shape[0], cols=shape[1], io=io,
+                        annotations=list(annotations or []),
+                        overwrites=overwrites)
+        self.program.decls.append(decl)
+        return decl
+
+    def _kind_for(self, shape: Shape) -> str:
+        if shape == _SCALAR:
+            return "Sca"
+        if shape[1] == "1":
+            return "Vec"
+        return "Mat"
+
+    def _random_input_annotations(self, shape: Shape) -> List[str]:
+        """Structure properties for a fresh input operand."""
+        if self._kind_for(shape) != "Mat" or shape[0] != shape[1]:
+            return []
+        roll = self.rng.random()
+        if roll < 0.50:
+            return []
+        if roll < 0.62:
+            return ["UpSym"]
+        if roll < 0.68:
+            return ["LoSym"]
+        if roll < 0.76:
+            return ["UpSym", "PD"]
+        annotations = ["LoTri"] if roll < 0.88 else ["UpTri"]
+        if self.rng.random() < 0.6:
+            annotations.append("NS")
+        if self.rng.random() < 0.15:
+            annotations.append("UnitDiag")
+        return annotations
+
+    def fresh_input(self, shape: Shape) -> FuzzDecl:
+        return self.declare(self._kind_for(shape), shape, "In",
+                            self._random_input_annotations(shape))
+
+    def operand(self, shape: Shape) -> FuzzDecl:
+        """A readable operand of the given shape (reused or fresh)."""
+        pool = self.readables(shape)
+        if pool and self.rng.random() < 0.65:
+            return self.rng.choice(pool)
+        return self.fresh_input(shape)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, shape: Shape, depth: int = 0) -> str:
+        """Random LA expression text of the given symbolic shape."""
+        rng = self.rng
+        scalar = shape == _SCALAR
+        if depth >= self.max_depth \
+                or rng.random() < 0.30 + 0.22 * depth:
+            return self.leaf(shape)
+        ops = ["add", "sub", "mul", "scale", "neg", "div"]
+        if scalar:
+            ops.append("sqrt")
+        elif shape[0] != shape[1] or shape[0] != "1":
+            ops.append("transpose")
+        op = rng.choice(ops)
+        if op in ("add", "sub"):
+            glue = "+" if op == "add" else "-"
+            return (f"({self.expr(shape, depth + 1)} {glue} "
+                    f"{self.expr(shape, depth + 1)})")
+        if op == "mul":
+            inner = rng.choice(sorted(self.program.dims) + ["1"])
+            left = self.expr((shape[0], inner), depth + 1)
+            right = self.expr((inner, shape[1]), depth + 1)
+            return f"({left} * {right})"
+        if op == "scale":
+            factor = self.expr(_SCALAR, depth + 1)
+            body = self.expr(shape, depth + 1)
+            if rng.random() < 0.5:
+                return f"({factor} * {body})"
+            return f"({body} * {factor})"
+        if op == "div":
+            # divisor biased to a leaf (scalar input or constant): inputs
+            # are drawn away from zero, so quotients stay well-scaled
+            divisor = self.expr(_SCALAR, depth + 2)
+            return f"({self.expr(shape, depth + 1)} / {divisor})"
+        if op == "neg":
+            return f"(-{self.expr(shape, depth + 1)})"
+        if op == "sqrt":
+            return f"sqrt({self.expr(shape, depth + 1)})"
+        if op == "transpose":
+            return f"({self.expr((shape[1], shape[0]), depth + 1)})'"
+        raise AssertionError(op)
+
+    def leaf(self, shape: Shape) -> str:
+        rng = self.rng
+        if shape == _SCALAR and rng.random() < 0.22:
+            return rng.choice(_CONST_POOL)
+        transposable = [d for d in self.program.decls
+                        if self.readable(d)
+                        and self.shape_of(d) == (shape[1], shape[0])
+                        and d.kind == "Mat"]
+        if shape != _SCALAR and transposable and rng.random() < 0.25:
+            return f"{rng.choice(transposable).name}'"
+        return self.operand(shape).name
+
+    # -- statements ----------------------------------------------------------
+
+    def _maybe_overwrite_target(self, shape: Shape) -> Optional[str]:
+        """An In/InOut operand a fresh output may overlay via ``ow``."""
+        overwritten = {d.overwrites for d in self.program.decls
+                       if d.overwrites}
+        pool = [d for d in self.program.decls
+                if d.io in ("In", "InOut") and self.shape_of(d) == shape
+                and d.name not in overwritten and d.overwrites is None]
+        if pool and self.rng.random() < 0.10:
+            return self.rng.choice(pool).name
+        return None
+
+    def _pick_dest(self) -> FuzzDecl:
+        rng = self.rng
+        inouts = [d for d in self.program.decls if d.io == "InOut"]
+        if inouts and rng.random() < 0.25:
+            return rng.choice(inouts)
+        written_outs = [d for d in self.program.decls
+                        if d.io == "Out" and d.name in self.written]
+        if written_outs and rng.random() < 0.12:
+            return rng.choice(written_outs)
+        roll = rng.random()
+        if roll < 0.20:
+            shape: Shape = _SCALAR
+        elif roll < 0.45:
+            shape = (self.pick_dim(), "1")
+        elif roll < 0.80:
+            dim = self.pick_dim()
+            shape = (dim, dim)
+        else:
+            shape = (self.pick_dim(), self.pick_dim())
+        io = "InOut" if rng.random() < 0.18 else "Out"
+        annotations: List[str] = []
+        if (self._kind_for(shape) == "Mat" and shape[0] == shape[1]
+                and io == "Out" and rng.random() < 0.08):
+            annotations = ["UpSym"]
+        overwrites = None
+        if io == "Out":
+            overwrites = self._maybe_overwrite_target(shape)
+        return self.declare(self._kind_for(shape), shape, io, annotations,
+                            overwrites)
+
+    def add_sblac(self) -> None:
+        dest = self._pick_dest()
+        text = f"{dest.name} = {self.expr(self.shape_of(dest))};"
+        self.program.statements.append(text)
+        self.written.add(dest.name)
+
+    def _tri_coefficient(self, dim: str, lower: bool) -> FuzzDecl:
+        """A readable, non-singular triangular coefficient operand."""
+        want = "LoTri" if lower else "UpTri"
+        pool = [d for d in self.program.decls
+                if self.readable(d) and d.is_square and d.rows == dim
+                and want in d.annotations and "NS" in d.annotations]
+        if pool and self.rng.random() < 0.4:
+            return self.rng.choice(pool)
+        annotations = [want, "NS"]
+        if self.rng.random() < 0.12:
+            annotations.append("UnitDiag")
+        return self.declare("Mat", (dim, dim), "In", annotations)
+
+    def _spd_operand(self, dim: str) -> FuzzDecl:
+        pool = [d for d in self.program.decls
+                if d.io in ("In", "InOut") and d.is_square and d.rows == dim
+                and "PD" in d.annotations]
+        if pool and self.rng.random() < 0.4:
+            return self.rng.choice(pool)
+        return self.declare("Mat", (dim, dim), "In", ["UpSym", "PD"])
+
+    def add_hlac(self) -> None:
+        rng = self.rng
+        dim = self.pick_dim()
+        kind = rng.choice(["cholesky_upper", "cholesky_lower", "trsm",
+                           "trsm", "trtri", "trsyl", "trlya"])
+        if kind in ("cholesky_upper", "cholesky_lower"):
+            rhs = self._spd_operand(dim)
+            upper = kind == "cholesky_upper"
+            annotations = ["UpTri" if upper else "LoTri", "NS"]
+            overwrites = rhs.name if (rhs.io == "In"
+                                      and rng.random() < 0.2) else None
+            factor = self.declare("Mat", (dim, dim), "Out", annotations,
+                                  overwrites)
+            if upper:
+                text = f"{factor.name}' * {factor.name} = {rhs.name};"
+            else:
+                text = f"{factor.name} * {factor.name}' = {rhs.name};"
+            self.written.add(factor.name)
+        elif kind == "trsm":
+            lower = rng.random() < 0.5
+            transposed = rng.random() < 0.3
+            coeff = self._tri_coefficient(dim, lower)
+            if rng.random() < 0.4:
+                x_shape: Shape = (dim, "1")
+            elif rng.random() < 0.6:
+                x_shape = (dim, dim)
+            else:
+                x_shape = (dim, self.pick_dim())
+            rhs = self.operand(x_shape)
+            unknown = self.declare(self._kind_for(x_shape), x_shape, "Out")
+            op = f"{coeff.name}'" if transposed else coeff.name
+            text = f"{op} * {unknown.name} = {rhs.name};"
+            self.written.add(unknown.name)
+        elif kind == "trtri":
+            lower = rng.random() < 0.5
+            transposed = rng.random() < 0.25
+            coeff = self._tri_coefficient(dim, lower)
+            result_lower = lower != transposed
+            unknown = self.declare(
+                "Mat", (dim, dim), "Out",
+                ["LoTri" if result_lower else "UpTri", "NS"])
+            op = f"{coeff.name}'" if transposed else coeff.name
+            text = f"{unknown.name} = inv({op});"
+            self.written.add(unknown.name)
+        elif kind == "trsyl":
+            left = self._tri_coefficient(dim, lower=True)
+            right = self._tri_coefficient(dim, lower=False)
+            rhs = self.operand((dim, dim))
+            unknown = self.declare("Mat", (dim, dim), "Out")
+            text = (f"{left.name} * {unknown.name} + {unknown.name} * "
+                    f"{right.name} = {rhs.name};")
+            self.written.add(unknown.name)
+        else:                                    # trlya
+            coeff = self._tri_coefficient(dim, lower=True)
+            # the synthesized algorithm may exploit the declared symmetry
+            # of the right-hand side, so its *values* must be symmetric:
+            # always a fresh (or reused) symmetric input
+            pool = [d for d in self.program.decls
+                    if d.io == "In" and d.is_square and d.rows == dim
+                    and d.annotations[:1] == ["UpSym"]]
+            rhs = (self.rng.choice(pool)
+                   if pool and rng.random() < 0.4
+                   else self.declare("Mat", (dim, dim), "In", ["UpSym"]))
+            unknown = self.declare("Mat", (dim, dim), "Out", ["UpSym"])
+            text = (f"{coeff.name} * {unknown.name} + {unknown.name} * "
+                    f"{coeff.name}' = {rhs.name};")
+            self.written.add(unknown.name)
+        self.program.statements.append(text)
+
+    def add_forloop(self) -> None:
+        rng = self.rng
+        inouts = [d for d in self.program.decls if d.io == "InOut"]
+        if inouts and rng.random() < 0.5:
+            dest = rng.choice(inouts)
+        else:
+            dim = self.pick_dim()
+            shape: Shape = (dim, dim) if rng.random() < 0.5 else (dim, "1")
+            dest = self.declare(self._kind_for(shape), shape, "InOut")
+        trip = rng.randint(2, 3)
+        body = f"{dest.name} = {self.expr(self.shape_of(dest), depth=1)};"
+        if rng.random() < 0.2:
+            header = f"for (i = 0:{trip}:{2 * trip})"
+        else:
+            header = f"for (i = 0:{trip})"
+        self.program.statements.append(f"{header} {{ {body} }}")
+        self.written.add(dest.name)
+
+
+def sample_program(rng: random.Random, name: str = "fuzz",
+                   max_statements: int = 5, max_size: int = 8
+                   ) -> FuzzProgram:
+    """Sample one random LA program (pure function of the rng state)."""
+    builder = _ProgramBuilder(rng, name, max_size)
+    for _ in range(rng.randint(1, max_statements)):
+        roll = rng.random()
+        if roll < 0.60:
+            builder.add_sblac()
+        elif roll < 0.88:
+            builder.add_hlac()
+        else:
+            builder.add_forloop()
+    return builder.program
+
+
+def sample_options(rng: random.Random,
+                   program: Optional[FuzzProgram] = None) -> Options:
+    """Sample one point of the joint Stage-1 x codegen option space."""
+    autotune = rng.random() < 0.35
+    options = Options(
+        vectorize=rng.random() < 0.75,
+        # width 3 is invalid on purpose (rarely): the pipeline must
+        # refuse it cleanly, and the oracle classifies that as a reject
+        vector_width=rng.choice([2, 2, 4, 4, 4, 4, 4, 3]),
+        block_size=(None if rng.random() < 0.5
+                    else rng.randint(1, 8)),
+        autotune=autotune,
+        max_variants=rng.randint(1, 8) if autotune else 12,
+        unroll=rng.random() < 0.85,
+        unroll_trip_count=rng.choice([1, 2, 4, 8, 16]),
+        unroll_body_limit=rng.choice([4, 16, 64, 128]),
+        load_store_analysis=rng.random() < 0.8,
+        scalar_replacement=rng.random() < 0.8,
+        rewrite_rules=rng.random() < 0.8,
+        use_shuffle_transpose=rng.random() < 0.8,
+        annotate_code=rng.random() < 0.1,
+    )
+    if program is not None and rng.random() < 0.3:
+        variants = _sample_stage1_variants(rng, program, options)
+        if variants:
+            options.stage1_variants = variants
+    return options
+
+
+def _sample_stage1_variants(rng: random.Random, program: FuzzProgram,
+                            options: Options) -> Optional[Dict[int, str]]:
+    """Pin random Cl1ck variants for the program's HLAC sites (when the
+    program has any and Stage-1 site discovery succeeds -- a failure here
+    will resurface in the oracle's generate step, correctly classified)."""
+    from ..slingen.stage1 import find_hlac_sites
+    try:
+        sites = find_hlac_sites(program.parse(),
+                                options.effective_block_size)
+    except ReproError:
+        return None
+    chosen: Dict[int, str] = {}
+    for site in sites:
+        if len(site.variants) > 1 and rng.random() < 0.7:
+            chosen[site.index] = rng.choice(site.variants)
+    return chosen or None
+
+
+def sample_case(seed: int, max_statements: int = 5, max_size: int = 8
+                ) -> FuzzCase:
+    """The fuzz case for one seed (deterministic)."""
+    rng = random.Random(seed)
+    program = sample_program(rng, name=f"fuzz_{seed}",
+                             max_statements=max_statements,
+                             max_size=max_size)
+    options = sample_options(rng, program)
+    input_seed = rng.randrange(2 ** 31)
+    return FuzzCase(program=program, options=options,
+                    input_seed=input_seed, seed=seed)

@@ -1,0 +1,170 @@
+"""Greedy minimization of failing fuzz cases.
+
+A raw failing case is noisy: five statements, three dimensions, a dozen
+operands, and a fully populated option set, of which usually one
+statement and one option matter.  The shrinker repeatedly tries
+reductions -- dropping statements (with dead declarations and dimensions
+pruned), shrinking dimension bindings, relaxing operand properties,
+removing ``ow`` overlays, and resetting options to their defaults -- and
+keeps every reduction that still fails *with the same signature*
+(crash with the same exception type, or the same kind of divergence), so
+the minimized repro reproduces the original bug rather than a different
+one uncovered along the way.
+
+Each accepted or rejected candidate costs one full differential run;
+``budget`` caps the total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..slingen.options import Options
+from .oracle import (DEFAULT_REF_TOL, DEFAULT_TOL, CaseResult, run_case)
+from .spec import FuzzCase, FuzzProgram
+
+
+@dataclass
+class ShrinkOutcome:
+    """The minimized case plus bookkeeping."""
+
+    case: FuzzCase
+    result: CaseResult
+    attempts: int
+
+
+def _clone(case: FuzzCase) -> FuzzCase:
+    return FuzzCase.from_json(case.to_json())
+
+
+def _prune_program(program: FuzzProgram) -> None:
+    """Drop declarations (and dimension bindings) nothing references.
+
+    A declaration stays when a statement mentions it or when a surviving
+    declaration overlays it via ``ow``; iterate to a fixpoint because
+    removing an overlayer can orphan its target.
+    """
+    while True:
+        referenced = program.referenced_names()
+        needed = set(referenced)
+        for decl in program.decls:
+            if decl.name in needed and decl.overwrites:
+                needed.add(decl.overwrites)
+        kept = [d for d in program.decls if d.name in needed]
+        if len(kept) == len(program.decls):
+            break
+        program.decls = kept
+    used_dims = {d.rows for d in program.decls} \
+        | {d.cols for d in program.decls}
+    program.dims = {name: value for name, value in program.dims.items()
+                    if name in used_dims}
+
+
+def shrink_case(case: FuzzCase, original: Optional[CaseResult] = None,
+                backends: str = "auto", tol: float = DEFAULT_TOL,
+                reference: bool = True, ref_tol: float = DEFAULT_REF_TOL,
+                budget: int = 300) -> ShrinkOutcome:
+    """Minimize a failing case, preserving its failure signature."""
+    if original is None:
+        original = run_case(case, backends=backends, tol=tol,
+                            reference=reference, ref_tol=ref_tol)
+    if not original.failed:
+        return ShrinkOutcome(case=case, result=original, attempts=0)
+    signature = original.signature()
+    attempts = 0
+    best_result = original
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        nonlocal attempts, best_result
+        if attempts >= budget:
+            return False
+        attempts += 1
+        outcome = run_case(candidate, backends=backends, tol=tol,
+                           reference=reference, ref_tol=ref_tol)
+        if outcome.signature() == signature:
+            best_result = outcome
+            return True
+        return False
+
+    current = case
+    changed = True
+    while changed and attempts < budget:
+        changed = False
+
+        # 1. drop whole statements (last first: later statements depend
+        # on earlier ones, never the reverse)
+        index = len(current.program.statements) - 1
+        while index >= 0 and attempts < budget:
+            candidate = _clone(current)
+            del candidate.program.statements[index]
+            _prune_program(candidate.program)
+            if candidate.program.statements and still_fails(candidate):
+                current = candidate
+                changed = True
+            index -= 1
+
+        # 2. shrink dimension bindings (candidates deduplicated: each
+        # attempt costs a full differential run from the budget)
+        for dim in sorted(current.program.dims):
+            value = current.program.dims[dim]
+            for smaller in sorted({s for s in (1, 2, value // 2, value - 1)
+                                   if 1 <= s < value}):
+                candidate = _clone(current)
+                candidate.program.dims[dim] = smaller
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+                    break
+
+        # 3. relax operand properties / remove ow overlays
+        for position in range(len(current.program.decls)):
+            decl = current.program.decls[position]
+            if decl.annotations:
+                candidates = [_drop_annotations(current, position, None)]
+                candidates += [
+                    _drop_annotations(current, position, single)
+                    for single in decl.annotations]
+                for candidate in candidates:
+                    if attempts >= budget:
+                        break
+                    if still_fails(candidate):
+                        current = candidate
+                        changed = True
+                        break
+            decl = current.program.decls[position]
+            if decl.overwrites:
+                candidate = _clone(current)
+                candidate.program.decls[position].overwrites = None
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+
+        # 4. reset options to their defaults, one field at a time
+        defaults = Options()
+        for field in dataclasses.fields(Options):
+            if getattr(current.options, field.name) == \
+                    getattr(defaults, field.name):
+                continue
+            candidate = _clone(current)
+            setattr(candidate.options, field.name,
+                    getattr(defaults, field.name))
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+
+    return ShrinkOutcome(case=current, result=best_result, attempts=attempts)
+
+
+def _drop_annotations(case: FuzzCase, position: int,
+                      single: Optional[str]) -> FuzzCase:
+    """A clone with all (``single=None``) or one annotation removed from
+    the declaration at ``position``."""
+    candidate = _clone(case)
+    decl = candidate.program.decls[position]
+    if single is None:
+        decl.annotations = []
+    else:
+        decl.annotations = [a for a in decl.annotations if a != single]
+    return candidate

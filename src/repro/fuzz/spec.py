@@ -1,0 +1,234 @@
+"""Serializable fuzz cases: a random LA program plus generator options.
+
+A fuzz case is everything needed to reproduce one differential run --
+the LA program (as structured declarations plus statement text, rendered
+to the exact source the parser consumes), the :class:`Options` the
+pipeline ran with, and the input seed.  Cases round-trip through JSON so
+failures can be shrunk, saved to the committed corpus
+(``tests/fuzz_corpus/``), and replayed as regression tests.
+
+Declarations are kept structured (kind, dims, io, annotations) because
+the shrinker mutates them -- dropping properties, shrinking dimension
+bindings -- while statements stay plain LA text, which the shrinker only
+ever deletes wholesale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import FuzzError
+from ..ir.program import Program
+from ..la import parse_program
+from ..slingen.options import Options
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+#: Words in statement text that are never operand references.
+_LA_KEYWORDS = frozenset({
+    "for", "trans", "inv", "sqrt", "Mat", "Vec", "Sca",
+    "In", "Out", "InOut", "ow",
+})
+
+
+@dataclass
+class FuzzDecl:
+    """One operand declaration of a fuzzed LA program.
+
+    ``rows``/``cols`` are *dimension names* resolved through the
+    program's ``dims`` binding (or the literal ``"1"``), so the shrinker
+    can shrink every operand bound to a dimension coherently by editing
+    one number.
+    """
+
+    kind: str                      # "Mat" | "Vec" | "Sca"
+    name: str
+    rows: str = "1"
+    cols: str = "1"
+    io: str = "In"                 # "In" | "Out" | "InOut"
+    annotations: List[str] = field(default_factory=list)
+    overwrites: Optional[str] = None
+
+    def render(self) -> str:
+        """The LA declaration statement for this operand."""
+        tail = [self.io] + list(self.annotations)
+        if self.overwrites:
+            tail.append(f"ow({self.overwrites})")
+        inside = ", ".join(tail)
+        if self.kind == "Sca":
+            return f"Sca {self.name} <{inside}>;"
+        if self.kind == "Vec":
+            return f"Vec {self.name}({self.rows}) <{inside}>;"
+        return f"Mat {self.name}({self.rows}, {self.cols}) <{inside}>;"
+
+    @property
+    def is_square(self) -> bool:
+        return self.kind == "Mat" and self.rows == self.cols
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"kind": self.kind, "name": self.name}
+        if self.kind != "Sca":
+            doc["rows"] = self.rows
+        if self.kind == "Mat":
+            doc["cols"] = self.cols
+        doc["io"] = self.io
+        if self.annotations:
+            doc["annotations"] = list(self.annotations)
+        if self.overwrites:
+            doc["overwrites"] = self.overwrites
+        return doc
+
+    @staticmethod
+    def from_json(doc: Dict[str, object]) -> "FuzzDecl":
+        return FuzzDecl(kind=str(doc["kind"]), name=str(doc["name"]),
+                        rows=str(doc.get("rows", "1")),
+                        cols=str(doc.get("cols", "1")),
+                        io=str(doc.get("io", "In")),
+                        annotations=[str(a) for a in
+                                     doc.get("annotations", [])],
+                        overwrites=(str(doc["overwrites"])
+                                    if doc.get("overwrites") else None))
+
+
+@dataclass
+class FuzzProgram:
+    """A fuzzed LA program: dimension bindings, declarations, statements."""
+
+    name: str
+    dims: Dict[str, int] = field(default_factory=dict)
+    decls: List[FuzzDecl] = field(default_factory=list)
+    statements: List[str] = field(default_factory=list)
+
+    def source(self) -> str:
+        """Render the exact LA source text the parser consumes."""
+        lines = [decl.render() for decl in self.decls]
+        if self.decls and self.statements:
+            lines.append("")
+        lines.extend(self.statements)
+        return "\n".join(lines) + "\n"
+
+    def parse(self) -> Program:
+        """Parse (and semantically validate) the rendered source."""
+        return parse_program(self.source(), dict(self.dims), name=self.name)
+
+    def referenced_names(self) -> frozenset:
+        """Identifiers appearing in statement text (operand uses plus loop
+        variables/keywords; good enough for the shrinker's dead-decl and
+        dead-dim sweeps since generated names never collide with
+        keywords)."""
+        found = set()
+        for statement in self.statements:
+            for match in _IDENT_RE.findall(statement):
+                if match not in _LA_KEYWORDS:
+                    found.add(match)
+        return frozenset(found)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "dims": dict(self.dims),
+            "decls": [decl.to_json() for decl in self.decls],
+            "statements": list(self.statements),
+        }
+
+    @staticmethod
+    def from_json(doc: Dict[str, object]) -> "FuzzProgram":
+        return FuzzProgram(
+            name=str(doc["name"]),
+            dims={str(k): int(v) for k, v in dict(doc["dims"]).items()},
+            decls=[FuzzDecl.from_json(d) for d in doc["decls"]],
+            statements=[str(s) for s in doc["statements"]])
+
+
+# ---------------------------------------------------------------------------
+# Options (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def options_to_json(options: Options) -> Dict[str, object]:
+    """Only the fields that differ from the default :class:`Options`
+    (keeps corpus entries readable and immune to new default-valued
+    fields)."""
+    defaults = Options()
+    doc: Dict[str, object] = {}
+    for f in dataclasses.fields(Options):
+        value = getattr(options, f.name)
+        if value == getattr(defaults, f.name):
+            continue
+        if f.name == "stage1_variants" and value is not None:
+            doc[f.name] = {str(k): v for k, v in value.items()}
+        else:
+            doc[f.name] = value
+    return doc
+
+
+def options_from_json(doc: Dict[str, object]) -> Options:
+    known = {f.name for f in dataclasses.fields(Options)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise FuzzError(f"unknown Options fields in fuzz case: {unknown}")
+    kwargs = dict(doc)
+    if kwargs.get("stage1_variants") is not None:
+        kwargs["stage1_variants"] = {
+            int(k): str(v) for k, v in dict(kwargs["stage1_variants"]).items()}
+    return Options(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The full case
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzCase:
+    """One differential-fuzzing input: program x options x input seed."""
+
+    program: FuzzProgram
+    options: Options = field(default_factory=Options)
+    input_seed: int = 0
+    #: generator seed that produced the case (None for hand-written ones)
+    seed: Optional[int] = None
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "program": self.program.to_json(),
+            "options": options_to_json(self.options),
+            "input_seed": self.input_seed,
+        }
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    @staticmethod
+    def from_json(doc: Dict[str, object]) -> "FuzzCase":
+        schema = int(doc.get("schema", 0))
+        if schema != SCHEMA_VERSION:
+            raise FuzzError(
+                f"unsupported fuzz-case schema {schema} "
+                f"(this build reads {SCHEMA_VERSION})")
+        return FuzzCase(
+            program=FuzzProgram.from_json(dict(doc["program"])),
+            options=options_from_json(dict(doc.get("options", {}))),
+            input_seed=int(doc.get("input_seed", 0)),
+            seed=(int(doc["seed"]) if doc.get("seed") is not None else None))
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @staticmethod
+    def loads(text: str) -> "FuzzCase":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FuzzError(f"malformed fuzz-case JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise FuzzError("fuzz case must be a JSON object")
+        return FuzzCase.from_json(doc)

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import LoweringError
 from ..ir.expr import (Add, Const, Div, Expr, Inverse, Mul, Neg, Ref, Sqrt,
-                       Sub, Transpose, flatten_add, flatten_mul)
+                       Sub, Transpose, flatten_add)
 from ..ir.operands import IOType, Operand, View
 from ..ir.program import Assign
 from ..ir.properties import Properties
@@ -172,6 +172,13 @@ def push_down_transposes(expr: Expr) -> Expr:
                        push_down_transposes(Transpose(child.right)))
         if isinstance(child, Neg):
             return Neg(push_down_transposes(Transpose(child.child)))
+        if isinstance(child, Div):
+            # (A / s)^T = A^T / s -- the divisor is scalar by typing.
+            # Without this rule a transposed quotient survives push-down
+            # unchanged and used to send _materialize into infinite
+            # recursion (a fuzzer-found crash).
+            return Div(push_down_transposes(Transpose(child.left)),
+                       push_down_transposes(child.right))
         if child.is_scalar:
             return child
         return Transpose(child)
@@ -270,10 +277,13 @@ class Normalizer:
                 f"cannot normalize HLAC statement {statement!r}; run Stage 1 "
                 f"first")
         if statement.lhs.is_scalar:
-            return [ScalarAssignOp(statement.lhs,
-                                   push_down_transposes(statement.rhs))]
+            ops: List[CanonicalOp] = []
+            expr = self._prepare_scalar_expr(
+                push_down_transposes(statement.rhs), ops)
+            ops.append(ScalarAssignOp(statement.lhs, expr))
+            return ops
 
-        ops: List[CanonicalOp] = []
+        ops = []
         rhs = push_down_transposes(statement.rhs)
         terms = [self._extract_term(sign, term, ops)
                  for sign, term in flatten_add(rhs)]
@@ -282,11 +292,32 @@ class Normalizer:
 
     # -- term handling ---------------------------------------------------------
 
+    def _mul_factors(self, expr: Expr) -> List[Expr]:
+        """Flatten nested Mul, keeping scalar-valued subproducts atomic.
+
+        A scalar-shaped product like ``x^T * y`` inside a larger product is
+        a *coefficient* of the surrounding matrix chain, not two more chain
+        factors: flattening through it would thread a bogus 1x1 "matrix"
+        into the chain-order dims and emit inconsistent matmuls (a
+        fuzzer-found crash on ``C = (x' * y) * A``).
+        """
+        factors: List[Expr] = []
+
+        def visit(node: Expr) -> None:
+            if isinstance(node, Mul) and not node.is_scalar:
+                visit(node.left)
+                visit(node.right)
+            else:
+                factors.append(node)
+
+        visit(expr)
+        return factors
+
     def _extract_term(self, sign: int, expr: Expr,
                       ops: List[CanonicalOp]) -> _Term:
         coeff = ScalarCoeff(sign)
         factors: List[Tuple[View, bool]] = []
-        for factor in flatten_mul(expr):
+        for factor in self._mul_factors(expr):
             coeff, factors = self._add_factor(factor, coeff, factors, ops)
         return _Term(coeff, factors)
 
@@ -311,8 +342,15 @@ class Normalizer:
         if isinstance(factor, Ref):
             factors = factors + [(factor.view, False)]
             return coeff, factors
-        if isinstance(factor, Transpose) and isinstance(factor.child, Ref):
-            factors = factors + [(factor.child.view, True)]
+        if isinstance(factor, Transpose):
+            if isinstance(factor.child, Ref):
+                factors = factors + [(factor.child.view, True)]
+                return coeff, factors
+            # A transposed compound: materialize the (strictly smaller)
+            # untransposed child and transpose the reference, so the
+            # recursion always terminates.
+            view = self._materialize(factor.child, ops)
+            factors = factors + [(view, True)]
             return coeff, factors
         if isinstance(factor, Inverse):
             raise LoweringError(
@@ -332,8 +370,51 @@ class Normalizer:
             return expr.view
         temp = self.temps.fresh(1, 1)
         dest = temp.full_view()
-        ops.append(ScalarAssignOp(dest, expr))
+        ops.append(ScalarAssignOp(dest, self._prepare_scalar_expr(expr, ops)))
         return dest
+
+    def _prepare_scalar_expr(self, expr: Expr,
+                             ops: List[CanonicalOp]) -> Expr:
+        """Rewrite a scalar expression so every inner product has leaf
+        vector operands.
+
+        The lowering inlines scalar-valued products as dot-product loops
+        over *references*; a compound operand (``x^T * A`` in the quadratic
+        form ``x^T * A * x``, or ``(x + y)^T`` in ``(x + y)^T * z``) is
+        first evaluated into a temporary here (a fuzzer-found crash).
+        Expects (and preserves) transposes already pushed down to leaves.
+        """
+        if isinstance(expr, Mul):
+            if expr.left.is_scalar and expr.right.is_scalar:
+                return Mul(self._prepare_scalar_expr(expr.left, ops),
+                           self._prepare_scalar_expr(expr.right, ops))
+            return Mul(self._vector_operand(expr.left, ops),
+                       self._vector_operand(expr.right, ops))
+        if isinstance(expr, Add):
+            return Add(self._prepare_scalar_expr(expr.left, ops),
+                       self._prepare_scalar_expr(expr.right, ops))
+        if isinstance(expr, Sub):
+            return Sub(self._prepare_scalar_expr(expr.left, ops),
+                       self._prepare_scalar_expr(expr.right, ops))
+        if isinstance(expr, Div):
+            return Div(self._prepare_scalar_expr(expr.left, ops),
+                       self._prepare_scalar_expr(expr.right, ops))
+        if isinstance(expr, Neg):
+            return Neg(self._prepare_scalar_expr(expr.child, ops))
+        if isinstance(expr, Sqrt):
+            return Sqrt(self._prepare_scalar_expr(expr.child, ops))
+        if isinstance(expr, Transpose):
+            return Transpose(self._prepare_scalar_expr(expr.child, ops))
+        return expr
+
+    def _vector_operand(self, expr: Expr, ops: List[CanonicalOp]) -> Expr:
+        """An inner-product operand as a (possibly transposed) leaf
+        reference, materializing compound expressions into temporaries."""
+        if isinstance(expr, Ref):
+            return expr
+        if isinstance(expr, Transpose) and isinstance(expr.child, Ref):
+            return expr
+        return Ref(self._materialize(expr, ops))
 
     def _materialize(self, expr: Expr, ops: List[CanonicalOp]) -> View:
         """Evaluate a non-trivial subexpression into a fresh temporary."""

@@ -251,7 +251,9 @@ class KernelServer:
         self.service = service if service is not None else KernelService()
         self.max_inflight = max_inflight
         self.quiet = quiet
-        self.started_at = time.time()
+        # Monotonic clock: uptime must not jump (or go negative) when NTP
+        # steps the wall clock.
+        self.started_at = time.monotonic()
         self.rejected = 0
         self._admission = threading.BoundedSemaphore(max_inflight)
         self._reject_lock = threading.Lock()
@@ -294,13 +296,13 @@ class KernelServer:
 
     def health_doc(self) -> Dict[str, object]:
         return {"status": "ok",
-                "uptime_s": time.time() - self.started_at,
+                "uptime_s": time.monotonic() - self.started_at,
                 "max_inflight": self.max_inflight}
 
     def stats_doc(self) -> Dict[str, object]:
         doc: Dict[str, object] = {
             "server": {
-                "uptime_s": time.time() - self.started_at,
+                "uptime_s": time.monotonic() - self.started_at,
                 "max_inflight": self.max_inflight,
                 "rejected": self.rejected,
             },

@@ -61,7 +61,7 @@ import string
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import StoreError
 from ..ioutil import LruMap, atomic_write_bytes, cache_root
@@ -444,14 +444,18 @@ class DiskKernelStore(KernelStore):
         with self._evict_lock:
             keys = self.keys()
             # Oldest access first (meta.json mtime is refreshed on every
-            # hit).
-            def mtime(key: str) -> float:
+            # hit).  Ties are broken by key: on filesystems with coarse
+            # (1 s) mtime resolution, entries touched in the same second
+            # would otherwise evict in directory-listing order, which is
+            # not stable across filesystems or runs.
+            def lru_rank(key: str) -> "tuple":
                 try:
-                    return os.path.getmtime(
+                    stamp = os.path.getmtime(
                         os.path.join(self._entry_dir(key), self.META_NAME))
                 except OSError:
-                    return 0.0
-            keys.sort(key=mtime)
+                    stamp = 0.0
+                return (stamp, key)
+            keys.sort(key=lru_rank)
             total_bytes = sum(self._entry_bytes(k) for k in keys) \
                 if self.max_bytes is not None else 0
             while keys:
@@ -477,10 +481,13 @@ class DiskKernelStore(KernelStore):
         One dict per populated shard (plus any shard that has seen an
         eviction), keyed by the two-hex-character shard name:
         ``entries`` and ``bytes`` size the shard, ``evictions`` counts
-        LRU victims taken from it over this instance's lifetime, and
+        LRU victims taken from it over this instance's lifetime,
         ``lru_age_s`` is the age of its least-recently-used entry (how
         close the shard's coldest kernel is to eviction on a bounded
-        store).
+        store), and ``lru_key`` names that entry.  LRU order matches
+        :meth:`_evict`: oldest mtime first, same-second ties broken by
+        key, so the reported victim candidate is deterministic even on
+        filesystems with 1 s mtime resolution.
         """
         now = time.time()
         with self._lock:
@@ -490,24 +497,28 @@ class DiskKernelStore(KernelStore):
             keys = self._shard_keys(shard)
             if not keys:
                 continue
-            oldest = now
-            for key in keys:
+            oldest: Optional[Tuple[float, str]] = None
+            for key in sorted(keys):
                 try:
                     mtime = os.path.getmtime(os.path.join(
                         self._entry_dir(key), self.META_NAME))
                 except OSError:
                     continue
-                oldest = min(oldest, mtime)
+                if oldest is None or (mtime, key) < oldest:
+                    oldest = (mtime, key)
             shards[shard] = {
                 "entries": len(keys),
                 "bytes": sum(self._entry_bytes(k) for k in keys),
                 "evictions": evictions_by_shard.get(shard, 0),
-                "lru_age_s": max(0.0, now - oldest),
+                "lru_age_s": (max(0.0, now - oldest[0])
+                              if oldest is not None else 0.0),
+                "lru_key": oldest[1] if oldest is not None else "",
             }
         for shard, count in evictions_by_shard.items():
             shards.setdefault(shard, {"entries": 0, "bytes": 0,
                                       "evictions": count,
-                                      "lru_age_s": 0.0})
+                                      "lru_age_s": 0.0,
+                                      "lru_key": ""})
         return shards
 
     def stats(self, shard_stats: Optional[Dict[str, Dict[str, object]]]

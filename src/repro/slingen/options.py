@@ -65,9 +65,13 @@ class Options:
         """
         from ..errors import ConfigurationError
 
-        if self.vector_width < 1:
+        if self.vector_width not in (1, 2, 4):
+            # the C backend maps width 2 to 128-bit SSE2/AVX and width 4
+            # to 256-bit AVX; other widths have no intrinsic type and
+            # must be refused before any code is generated (and cached)
             raise ConfigurationError(
-                f"vector_width must be >= 1, got {self.vector_width}")
+                f"vector_width must be 1 (scalar), 2 (SSE2) or 4 (AVX), "
+                f"got {self.vector_width}")
         if self.block_size is not None and self.block_size < 1:
             raise ConfigurationError(
                 f"block_size must be positive when set, got {self.block_size}")

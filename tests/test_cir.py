@@ -149,14 +149,16 @@ class TestInterpreter:
         with pytest.raises(InterpreterError):
             run_function(func, {})
 
-    def test_sqrt_of_negative_raises(self):
+    def test_sqrt_of_negative_is_nan(self):
+        # C's sqrt() returns NaN for negative arguments; the interpreter
+        # must match the compiled backend instead of raising.
         a = Buffer("a", 1, 1, "in")
         out = Buffer("out", 1, 1, "out")
         body = [Store(out, Affine.constant(0),
                       UnOp("sqrt", Load(a, Affine.constant(0))))]
         func = _make_function(body, [a, out], width=1)
-        with pytest.raises(InterpreterError):
-            run_function(func, {"a": np.array([[-1.0]])})
+        result = run_function(func, {"a": np.array([[-1.0]])})
+        assert np.isnan(result["out"][0, 0])
 
 
 class TestPasses:

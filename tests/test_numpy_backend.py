@@ -413,7 +413,8 @@ class TestExecutorIntegration:
         assert type(kernel).__name__ == expected
 
     def test_executors_constant_lists_backends(self):
-        assert set(EXECUTORS) == {"compiled", "numpy", "interpreter"}
+        assert set(EXECUTORS) == {"compiled", "numpy", "numpy-vectorized",
+                                  "interpreter"}
 
     def test_generation_result_run_numpy(self):
         case, result = generate("potrf", 4)

@@ -39,6 +39,16 @@ class TestEndpoints:
         assert doc["uptime_s"] >= 0
         assert doc["max_inflight"] == 8
 
+    def test_uptime_uses_the_monotonic_clock(self, server, client):
+        # An NTP step of the wall clock must not make uptime jump or go
+        # negative: started_at has to come from time.monotonic() (whose
+        # epoch is boot-ish, far away from time.time()'s 1970 epoch).
+        import time as time_mod
+        assert abs(time_mod.monotonic() - server.started_at) < 3600
+        assert abs(time_mod.time() - server.started_at) > 3600 * 24 * 365
+        doc = client.healthz()
+        assert 0 <= doc["uptime_s"] < 3600
+
     def test_generate_miss_then_hit(self, client):
         cold = client.generate(spec="potrf:4")
         assert not cold["cache_hit"]

@@ -718,6 +718,31 @@ class TestShardedStore:
         assert shards["ee"]["lru_age_s"] >= 0.0
         assert store.stats()["shards"] == 2
 
+    def test_eviction_order_is_stable_under_frozen_mtimes(self, tmp_path):
+        # On coarse-mtime filesystems (1 s resolution) same-second
+        # entries all carry the same LRU stamp; eviction order must then
+        # fall back to key order, not directory-listing order.
+        store = DiskKernelStore(root=str(tmp_path), max_entries=None,
+                                hot_capacity=0)
+        result = _result_for("potrf:4")
+        keys = ["cc" + "3" * 62, "aa" + "1" * 62, "bb" + "2" * 62]
+        for key in keys:
+            store.put(key, result)
+        frozen = 1_700_000_000
+        for key in keys:
+            meta = os.path.join(store._entry_dir(key),
+                                DiskKernelStore.META_NAME)
+            os.utime(meta, (frozen, frozen))
+        store.max_entries = 2
+        store._evict()
+        # the lexicographically smallest key is the deterministic victim
+        assert sorted(store.keys()) == sorted(keys[0:1] + keys[2:3])
+        assert store.evictions_by_shard == {"aa": 1}
+        # shard_stats reports the same deterministic LRU candidate
+        stats = store.shard_stats()
+        assert stats["bb"]["lru_key"] == keys[2]
+        assert stats["cc"]["lru_key"] == keys[0]
+
     def test_eviction_is_accounted_per_shard(self, tmp_path):
         store = DiskKernelStore(root=str(tmp_path), max_entries=2,
                                 hot_capacity=0)
