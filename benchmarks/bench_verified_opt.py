@@ -1,0 +1,154 @@
+"""Verified-optimization benchmark: baseline vs CEGIS-accepted rewrites.
+
+For each registry workload the CEGIS loop (:mod:`repro.cegis`) is run
+into a throwaway fix bank, then the same program is generated twice --
+once as the tuner would by default and once with the accepted rewrite
+set enabled (``Options.verified_rewrites``) -- and both kernels are
+executed and timed on every available backend.  The benchmark asserts
+that the verified tier actually pays for its verification cost:
+
+* every workload that accepted at least one rewrite must shrink the
+  optimized LA program (fewer statements going into codegen), and
+* at least one (workload, backend) pair must show a measured
+  end-to-end speedup, i.e. the verified kernel's median time per call
+  beats the baseline's.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_verified_opt.py
+        [--specs S ...] [--budget N] [--repeats N] [--output FILE]
+
+The text table lands in ``results/verified_opt.txt`` when run from the
+repository root.
+"""
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+
+DEFAULT_SPECS = ["potrf:8", "kf:4x4", "trlya:4"]
+
+
+def bench_spec(text: str, budget: int, repeats: int, bank):
+    """CEGIS-verify one workload, then time baseline vs verified."""
+    from repro.backend import compiler_available, make_executor
+    from repro.cegis import optimize_program
+    from repro.fuzz.oracle import make_inputs
+    from repro.service.registry import build_case, parse_spec
+    from repro.slingen import Options, SLinGen
+
+    spec = parse_spec(text)
+    case = build_case(spec)
+    base = Options(annotate_code=False)
+    outcome = optimize_program(case.program, base, budget=budget,
+                               bank=bank, label=spec.label)
+
+    baseline = SLinGen(base).generate_result(case.program)
+    verified_options = bank.verified_options(outcome.key, base=base)
+    verified = SLinGen(verified_options or base).generate_result(case.program)
+
+    backends = ["interpreter", "numpy"]
+    if compiler_available():
+        backends.append("compiled")
+
+    inputs = make_inputs(case.program, seed=17)
+    rows = []
+    for backend in backends:
+        timing = {}
+        for label, result in (("baseline", baseline),
+                              ("verified", verified)):
+            kernel = make_executor(result.function, backend=backend,
+                                   c_code=result.c_code)
+            timing[label] = statistics.median(
+                kernel.time(inputs, repeats=repeats))
+        rows.append({
+            "spec": spec.label, "backend": backend,
+            "baseline_s": timing["baseline"],
+            "verified_s": timing["verified"],
+            "speedup": timing["baseline"] / max(timing["verified"], 1e-12),
+        })
+    return {
+        "spec": spec.label,
+        "accepted": list(outcome.accepted),
+        "refuted": [entry["id"] for entry in outcome.refuted],
+        "baseline_stmts": len(baseline.basic_program.statements),
+        "verified_stmts": len(verified.basic_program.statements),
+        "rows": rows,
+    }
+
+
+def run(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--specs", nargs="+", default=DEFAULT_SPECS)
+    parser.add_argument("--budget", type=int, default=4,
+                        help="verifier input draws per candidate rewrite")
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the text table to FILE (default: "
+                             "results/verified_opt.txt when that "
+                             "directory exists)")
+    args = parser.parse_args(argv)
+
+    from repro.cegis import FixBank
+
+    lines = [f"{'workload':10s} {'backend':12s} {'baseline us':>12s} "
+             f"{'verified us':>12s} {'speedup':>8s}   accepted rewrites"]
+    failures = []
+    best = None
+    with tempfile.TemporaryDirectory() as scratch:
+        bank = FixBank(root=os.path.join(scratch, "fixbank"))
+        for text in args.specs:
+            report = bench_spec(text, args.budget, args.repeats, bank)
+            accepted = ",".join(report["accepted"]) or "-"
+            for row in report["rows"]:
+                lines.append(
+                    f"{row['spec']:10s} {row['backend']:12s} "
+                    f"{row['baseline_s'] * 1e6:12.2f} "
+                    f"{row['verified_s'] * 1e6:12.2f} "
+                    f"{row['speedup']:7.2f}x   {accepted}")
+                if best is None or row["speedup"] > best["speedup"]:
+                    best = row
+            lines.append(
+                f"{report['spec']:10s} {'(LA stmts)':12s} "
+                f"{report['baseline_stmts']:12d} "
+                f"{report['verified_stmts']:12d}           "
+                f"refuted: {','.join(report['refuted']) or '-'}")
+            if (report["accepted"]
+                    and report["verified_stmts"]
+                    >= report["baseline_stmts"]):
+                failures.append(
+                    f"{report['spec']}: accepted {accepted} but the "
+                    f"optimized LA program did not shrink "
+                    f"({report['baseline_stmts']} -> "
+                    f"{report['verified_stmts']} statements)")
+
+    if best is None or best["speedup"] <= 1.0:
+        failures.append("no (workload, backend) pair showed a measured "
+                        "speedup from the verified tier")
+
+    table = "\n".join(lines)
+    print(table)
+    output = args.output
+    if output is None and os.path.isdir("results"):
+        output = os.path.join("results", "verified_opt.txt")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write("[verified_opt]  baseline vs CEGIS-verified "
+                         "rewrites, median seconds per call\n"
+                         + table + "\n")
+        print(f"wrote {output}")
+
+    for fail in failures:
+        print(f"FAIL: {fail}")
+    if failures:
+        return 1
+    print(f"OK: verified tier shrinks the optimized LA programs and "
+          f"{best['spec']} runs {best['speedup']:.2f}x faster on "
+          f"{best['backend']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

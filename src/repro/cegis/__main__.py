@@ -1,0 +1,264 @@
+"""Command-line front-end of the CEGIS verified-optimization tier.
+
+Usage (``PYTHONPATH=src python -m repro.cegis <command>``)::
+
+    optimize SPEC ... [--budget N] [--seed N] [--backends B] [--scalar]
+                      [--json]     # run the CEGIS loop and bank the result
+    report   [SPEC ...] [--json]   # show fix records (all, or for specs)
+    replay   SPEC ...              # re-check every banked counterexample
+                                   # still refutes its rewrite
+    purge    [--yes]               # drop every fix record
+
+A SPEC is ``name:size`` (``potrf:8``) or ``name:sizexk`` (``kf:8x4``) --
+the same workload addresses the kernel service and tuner use.  The bank
+root defaults to ``~/.cache/repro-slingen/fixbank`` and can be moved
+with ``--bank`` or the ``REPRO_FIXBANK`` environment variable.
+
+``optimize --json`` emits one stable document per run (see
+:data:`REPORT_SCHEMA_VERSION`); CI asserts accepted/refuted counts
+against it.  ``report`` exits non-zero when a requested spec has no
+record yet; ``replay`` exits non-zero when a banked counterexample no
+longer refutes (which means a rewrite or the oracle changed -- the
+record is stale and should be re-verified).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..slingen.options import Options
+from .fixbank import FixBank, default_fixbank_dir, fixbank_key
+from .loop import optimize_program
+from .rewrites import known_ids
+from .verifier import DEFAULT_BUDGET, find_counterexample
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cegis",
+        description="Verify unsound rewrites per workload and manage the "
+                    "fix bank.")
+    parser.add_argument("--bank", default=None, metavar="DIR",
+                        help=f"fix-bank root "
+                             f"(default: {default_fixbank_dir()})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser(
+        "optimize", help="run the CEGIS loop on workloads and bank what "
+                         "survives")
+    optimize.add_argument("specs", nargs="+", metavar="SPEC",
+                          help="workloads to verify, e.g. potrf:8 kf:8x4")
+    optimize.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                          help="fresh input draws per candidate rewrite")
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument("--backends", default="auto",
+                          help="comma-separated backend list or 'auto'")
+    optimize.add_argument("--scalar", action="store_true",
+                          help="verify scalar (non-vectorized) generation")
+    optimize.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit a machine-readable summary (stable "
+                               "schema, see REPORT_SCHEMA_VERSION)")
+
+    report = sub.add_parser("report", help="show fix records")
+    report.add_argument("specs", nargs="*", metavar="SPEC",
+                        help="workloads to report (default: every record)")
+    report.add_argument("--scalar", action="store_true",
+                        help="look up the scalar-verified records")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a machine-readable report")
+
+    replay = sub.add_parser(
+        "replay", help="re-run every banked counterexample against its "
+                       "refuted rewrite")
+    replay.add_argument("specs", nargs="+", metavar="SPEC")
+    replay.add_argument("--scalar", action="store_true")
+
+    purge = sub.add_parser("purge", help="drop every fix record")
+    purge.add_argument("--yes", action="store_true",
+                       help="do not ask for confirmation")
+    return parser
+
+
+#: Version of the machine-readable documents this CLI emits.  ``optimize
+#: --json`` prints ``{"schema": N, "bank_root": str, "runs": [RUN...]}``
+#: where each RUN is a :meth:`repro.cegis.loop.CegisOutcome.summary`
+#: dict; ``report --json`` prints ``{"schema": N, "bank_root": str,
+#: "requested": [...] | null, "missing": [...], "records": [...]}``.
+#: Scripts and CI assert against these shapes; bump on any incompatible
+#: change.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _record_json(record, spec: Optional[str] = None) -> dict:
+    return {
+        "spec": spec if spec is not None else record.label,
+        "label": record.label,
+        "program": record.program_name,
+        "key": record.key,
+        "seed": record.seed,
+        "budget": record.budget,
+        "backends": list(record.backends),
+        "accepted": list(record.accepted),
+        "refuted": list(record.refuted),
+        "inapplicable": list(record.inapplicable),
+        "created_at": record.created_at,
+    }
+
+
+def _record_line(record) -> str:
+    refuted = ",".join(entry["id"] for entry in record.refuted) or "-"
+    accepted = ",".join(record.accepted) or "-"
+    return (f"{record.label:14s} accepted [{accepted}]  "
+            f"refuted [{refuted}]  budget {record.budget}  "
+            f"{len(record.backends)} backend(s)")
+
+
+def _base_options(scalar: bool) -> Options:
+    return Options(vectorize=not scalar, annotate_code=False)
+
+
+def _cmd_optimize(bank: FixBank, args: argparse.Namespace) -> int:
+    from ..service.registry import build_case, parse_spec
+    options = _base_options(args.scalar)
+    runs = []
+    for text in args.specs:
+        spec = parse_spec(text)
+        case = build_case(spec)
+        outcome = optimize_program(
+            case.program, options, budget=args.budget, seed=args.seed,
+            backends=args.backends, bank=bank, label=spec.label)
+        runs.append(outcome.summary())
+        if not args.as_json:
+            print(_record_line(outcome.to_record()))
+    if args.as_json:
+        print(json.dumps({
+            "schema": REPORT_SCHEMA_VERSION,
+            "bank_root": bank.root,
+            "runs": runs,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"verified {len(args.specs)} workload(s) against "
+              f"{len(known_ids())} candidate rewrite(s) into {bank.root}")
+    return 0
+
+
+def _cmd_report(bank: FixBank, args: argparse.Namespace) -> int:
+    found: List[tuple] = []          # (spec-or-None, record)
+    missing: List[str] = []
+    if args.specs:
+        from ..service.registry import build_case, parse_spec
+        for text in args.specs:
+            case = build_case(parse_spec(text))
+            record = bank.get(fixbank_key(case.program,
+                                          vectorize=not args.scalar))
+            if record is None:
+                missing.append(text)
+            else:
+                found.append((text, record))
+    else:
+        found = [(None, record)
+                 for record in sorted(bank.records(), key=lambda r: r.label)]
+
+    if args.as_json:
+        print(json.dumps({
+            "schema": REPORT_SCHEMA_VERSION,
+            "bank_root": bank.root,
+            "requested": list(args.specs) or None,
+            "missing": missing,
+            "records": [_record_json(record, spec)
+                        for spec, record in found],
+        }, indent=2, sort_keys=True))
+        return 1 if missing else 0
+
+    for text in missing:
+        print(f"{text}: no fix record")
+    for _, record in found:
+        print(_record_line(record))
+    if not args.specs:
+        if not found:
+            print("fix bank is empty")
+        else:
+            print(f"{len(found)} record(s) in {bank.root}")
+    return 1 if missing else 0
+
+
+def _cmd_replay(bank: FixBank, args: argparse.Namespace) -> int:
+    """Re-establish every banked counterexample.
+
+    For each refuted rewrite with a recorded seed, re-run the verifier
+    with *only* that seed (budget 0 fresh draws) and demand it still
+    refutes.  A counterexample that stopped refuting means the catalog
+    or the pipeline changed under the record."""
+    from ..service.registry import build_case, parse_spec
+    options = _base_options(args.scalar)
+    stale = 0
+    checked = 0
+    for text in args.specs:
+        case = build_case(parse_spec(text))
+        record = bank.get(fixbank_key(case.program,
+                                      vectorize=not args.scalar))
+        if record is None:
+            print(f"{text}: no fix record")
+            stale += 1
+            continue
+        known = set(known_ids())
+        for entry in record.counterexamples():
+            rewrite_id = str(entry["id"])
+            if rewrite_id not in known:
+                print(f"{text}: {rewrite_id}: rewrite no longer in catalog")
+                stale += 1
+                continue
+            prefix = tuple(rid for rid in record.accepted if rid in known)
+            trial = dataclasses.replace(
+                options, verified_rewrites=prefix + (rewrite_id,))
+            counterexample = find_counterexample(
+                case.program, case.program, options, options_b=trial,
+                seeds=[int(entry["seed"])], budget=0)
+            checked += 1
+            if counterexample is None:
+                print(f"{text}: {rewrite_id}: seed {entry['seed']} no "
+                      f"longer refutes (stale record)")
+                stale += 1
+            else:
+                print(f"{text}: {rewrite_id}: still refuted -- "
+                      f"{counterexample.describe()}")
+    print(f"replayed {checked} counterexample(s), {stale} stale")
+    return 1 if stale else 0
+
+
+def _cmd_purge(bank: FixBank, args: argparse.Namespace) -> int:
+    if not args.yes:
+        reply = input(f"purge every fix record under {bank.root}? [y/N] ")
+        if reply.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    removed = bank.purge()
+    print(f"purged {removed} record(s)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        bank = FixBank(root=args.bank)
+        if args.command == "optimize":
+            return _cmd_optimize(bank, args)
+        if args.command == "report":
+            return _cmd_report(bank, args)
+        if args.command == "replay":
+            return _cmd_replay(bank, args)
+        if args.command == "purge":
+            return _cmd_purge(bank, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

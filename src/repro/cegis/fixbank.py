@@ -1,0 +1,249 @@
+"""The fix bank: which unsound rewrites survived verification, where.
+
+A :class:`FixRecord` captures the outcome of one CEGIS run -- the
+accepted rewrite ids (in catalog order, which is application order), the
+refuted candidates with the input seed that split them from the
+baseline, and the verification budget that acceptance is conditional on.
+Records are keyed by :func:`fixbank_key`, the exact *(program, machine,
+vectorize)* content hash of :func:`repro.tuning.db.tuning_key`: a
+verified rewrite set is a property of what is computed and on which
+machine model, independent of the remaining generation knobs, which the
+caller supplies at apply time.
+
+**Acceptance is instance-specific.**  ``accepted`` means "a budgeted
+counterexample search over this concrete (program, sizes, options,
+machine) tuple found no divergence", not "equivalent for all programs"
+-- that is the whole point of keeping the rewrites out of the sound
+Stage-2 tier.  :meth:`FixRecord.apply` therefore only ever sets
+``Options.verified_rewrites``; it never touches searched or identity
+fields, so a fix record composes cleanly before or after a tuning
+record.
+
+The on-disk layout mirrors the tuning database: one JSON document per
+record under ``<root>/<key[:2]>/<key>.json``, written atomically, read
+corruption-tolerantly (an undecodable record is quarantined and reported
+as a miss, so verification degrades to re-verifying, never to an
+exception).  The root honours ``REPRO_FIXBANK``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..errors import CegisError
+from ..ioutil import LruMap, atomic_write_bytes, cache_root
+from ..ir.program import Program
+from ..machine.microarch import MicroArchitecture
+from ..slingen.options import Options
+from ..tuning.db import tuning_key
+
+#: Bump whenever record contents change incompatibly; old records are
+#: then quarantined on read and the programs simply re-verify.
+FIXBANK_SCHEMA_VERSION = 1
+
+
+def default_fixbank_dir() -> str:
+    """Root of the persistent fix bank.
+
+    Overridable via ``REPRO_FIXBANK``; defaults to
+    ``~/.cache/repro-slingen/fixbank`` (next to the kernel, object and
+    tuning caches).
+    """
+    return cache_root("REPRO_FIXBANK", "fixbank")
+
+
+def fixbank_key(program: Union[Program, str],
+                machine: Optional[MicroArchitecture] = None,
+                constants: Optional[Dict[str, int]] = None,
+                vectorize: bool = True) -> str:
+    """SHA-256 content key of one verification target.
+
+    Deliberately *identical* to :func:`repro.tuning.db.tuning_key`: both
+    databases answer "what did a prior search conclude about this
+    (program, machine, vectorize) tuple", and sharing the hash lets
+    operators correlate tuning and fix records for the same kernel by
+    key.  The two stores live under different roots, so the shared key
+    space cannot collide on disk.
+    """
+    return tuning_key(program, machine=machine, constants=constants,
+                      vectorize=vectorize)
+
+
+@dataclass
+class FixRecord:
+    """The persisted outcome of one CEGIS verification run."""
+
+    key: str
+    program_name: str
+    label: str                      # registry-style label, e.g. "potrf:8"
+    seed: int                       # base input-seed of the search
+    budget: int                     # input draws per candidate
+    backends: List[str]             # backends the verifier resolved
+    tol: float                      # cross-backend tolerance
+    ref_tol: float                  # LA-reference tolerance
+    accepted: List[str]             # rewrite ids, in application order
+    refuted: List[Dict[str, object]] = field(default_factory=list)
+    inapplicable: List[str] = field(default_factory=list)
+    created_at: float = 0.0
+    schema: int = FIXBANK_SCHEMA_VERSION
+
+    def apply(self, base: Options) -> Options:
+        """``base`` with the banked rewrites enabled.
+
+        Ids that are no longer in the catalog (a removed or renamed
+        rewrite after an upgrade) are dropped silently: the record
+        degrades to the subset that is still meaningful rather than
+        failing generation.
+        """
+        from .rewrites import known_ids
+        known = set(known_ids())
+        kept = tuple(rid for rid in self.accepted if rid in known)
+        return dataclasses.replace(base, verified_rewrites=kept)
+
+    def counterexamples(self) -> List[Dict[str, object]]:
+        """The refutations that carry a concrete counterexample input."""
+        return [entry for entry in self.refuted if "seed" in entry]
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "FixRecord":
+        if not isinstance(doc, dict) \
+                or doc.get("schema") != FIXBANK_SCHEMA_VERSION:
+            raise ValueError(f"unsupported fix record: {doc!r:.80}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        kwargs["accepted"] = [str(rid) for rid in kwargs.get("accepted", [])]
+        return cls(**kwargs)
+
+
+class FixBank:
+    """Persistent key -> :class:`FixRecord` store (see module docs)."""
+
+    def __init__(self, root: Optional[str] = None, hot_capacity: int = 128):
+        """``hot_capacity`` bounds the in-memory record cache; only
+        positive lookups are cached, so records verified by another
+        process are picked up on the next miss."""
+        self.root = os.path.abspath(root or default_fixbank_dir())
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise CegisError(
+                f"cannot create fix-bank root {self.root!r}: {exc}")
+        self._hot: LruMap[FixRecord] = LruMap(hot_capacity)
+        self.hits = 0
+        self.misses = 0
+        self.hot_hits = 0
+        self.corrupt_dropped = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _record_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- store API -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[FixRecord]:
+        """The stored record, or None (missing or quarantined-corrupt)."""
+        hot = self._hot.get(key)
+        if hot is not None:
+            self.hits += 1
+            self.hot_hits += 1
+            return hot
+        path = self._record_path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = FixRecord.from_json(json.load(handle))
+        except Exception:
+            # Torn write, schema drift, hand-edited garbage: drop the
+            # record and let the caller re-verify.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.corrupt_dropped += 1
+            self.misses += 1
+            return None
+        self._hot.insert(key, record)
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: FixRecord) -> None:
+        record.key = key
+        if not record.created_at:
+            record.created_at = time.time()
+        path = self._record_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_bytes(path, json.dumps(
+            record.to_json(), indent=2, sort_keys=True).encode("utf-8"))
+        self._hot.insert(key, record)
+
+    def delete(self, key: str) -> bool:
+        self._hot.pop(key)
+        path = self._record_path(key)
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> List[str]:
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    found.append(name[:-len(".json")])
+        return found
+
+    def records(self) -> Iterator[FixRecord]:
+        """Every decodable record (corrupt ones are quarantined as usual)."""
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def purge(self) -> int:
+        self._hot.clear()
+        removed = 0
+        for key in self.keys():
+            if self.delete(key):
+                removed += 1
+        return removed
+
+    def verified_options(self, key: str, base: Options) -> Optional[Options]:
+        """The banked rewrites for ``key`` applied over ``base``, or None."""
+        record = self.get(key)
+        if record is None:
+            return None
+        return record.apply(base)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": "fixbank",
+            "root": self.root,
+            "entries": len(self.keys()),
+            "hits": self.hits,
+            "hot_hits": self.hot_hits,
+            "misses": self.misses,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._record_path(key))
+
+    def __len__(self) -> int:
+        return len(self.keys())

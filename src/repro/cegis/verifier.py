@@ -1,0 +1,224 @@
+"""The verifier: a budgeted counterexample search between two pipelines.
+
+This is the differential oracle of :mod:`repro.fuzz.oracle` refactored
+into a reusable judge.  ``find_counterexample`` generates code for a
+*baseline* (program, options) pair and a *candidate* pair, then hunts
+for an input draw that splits them:
+
+1. the candidate must execute on every resolvable backend (a crash is a
+   refutation -- the rewrite produced an uncompilable or unrunnable
+   kernel);
+2. candidate and baseline must agree on every program-output buffer, on
+   every backend, within ``tol``;
+3. the candidate's backends must agree with each other within ``tol``;
+4. the candidate must agree with the LA-level NumPy/SciPy reference of
+   the baseline program within ``ref_tol`` (skipped when the reference
+   is not computable for these values, exactly like the fuzz oracle).
+
+Input draws come from :func:`repro.fuzz.oracle.make_inputs`, so they
+honour declared structure (SPD right-hand sides, unit diagonals, ...)
+-- the search only explores inputs the kernel contract admits.  Caller-
+supplied ``seeds`` are replayed *before* the fresh budget: the CEGIS
+loop feeds every previously refuting draw back in first, so one
+counterexample prunes a whole family of candidates at the cost of a
+single execution each.
+
+The search is budgeted, not exhaustive: ``None`` means "no refutation
+found within ``budget`` draws", not "equivalent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend import make_executor, resolve_backends
+from ..errors import CegisError, ReproError
+from ..ir.program import Program
+from ..slingen.generator import SLinGen
+from ..slingen.options import Options
+from ..fuzz.oracle import (DEFAULT_REF_TOL, DEFAULT_TOL, ReferenceSkip,
+                           divergent_buffers, make_inputs, max_deviation,
+                           reference_outputs)
+
+#: Fresh input draws per verification when the caller does not say.
+DEFAULT_BUDGET = 8
+
+
+@dataclass
+class Counterexample:
+    """One input draw that refutes a candidate, and how it refuted it."""
+
+    seed: int                     # make_inputs seed of the refuting draw
+    stage: str                    # execute | baseline | backend | reference
+    detail: str                   # backend or comparison pair
+    worst_delta: float = 0.0
+    divergent: List[str] = field(default_factory=list)
+    error_type: str = ""
+    error: str = ""
+
+    def describe(self) -> str:
+        if self.stage == "execute":
+            return (f"seed {self.seed}: crash on {self.detail}: "
+                    f"{self.error_type}: {self.error}")
+        return (f"seed {self.seed}: divergence[{self.stage}] {self.detail} "
+                f"delta={self.worst_delta:.3e} "
+                f"outputs={','.join(self.divergent)}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "stage": self.stage,
+            "detail": self.detail,
+            "worst_delta": self.worst_delta,
+            "divergent": list(self.divergent),
+            "error_type": self.error_type,
+            "error": self.error,
+        }
+
+
+def _output_leaders(program: Program) -> List[str]:
+    """Storage-group leaders of the program's output operands -- the
+    buffers whose final contents the kernel contract promises.  Baseline
+    and candidate pipelines may disagree on scratch temporaries (that is
+    what the rewrites change); they must not disagree here."""
+    leaders = program.storage_groups()
+    return sorted({leaders[op.name] for op in program.outputs()})
+
+
+def _check_same_interface(program_a: Program, program_b: Program) -> None:
+    def interface(program: Program) -> List[Tuple[str, int, int, bool]]:
+        return sorted((op.name, op.rows, op.cols, op.is_output)
+                      for op in program.operands.values()
+                      if op.is_input or op.is_output)
+    if interface(program_a) != interface(program_b):
+        raise CegisError(
+            "verification targets have different interfaces: "
+            f"{interface(program_a)!r} vs {interface(program_b)!r}")
+
+
+def find_counterexample(program_a: Program, program_b: Program,
+                        options: Options, *,
+                        seeds: Sequence[int] = (),
+                        budget: int = DEFAULT_BUDGET,
+                        tol: float = DEFAULT_TOL,
+                        ref_tol: float = DEFAULT_REF_TOL,
+                        backends: str = "auto",
+                        seed: int = 0,
+                        options_b: Optional[Options] = None
+                        ) -> Optional[Counterexample]:
+    """Search for an input on which the two pipelines disagree.
+
+    ``program_a``/``options`` is the trusted baseline; ``program_b`` with
+    ``options_b`` (defaulting to ``options``) is the candidate under
+    test.  ``seeds`` are replayed first, then ``budget`` fresh draws
+    ``seed, seed+1, ...``.  Returns the first :class:`Counterexample`,
+    or ``None`` when the budget is exhausted without a refutation.
+
+    Raises :class:`CegisError` when the *baseline* itself cannot be
+    generated or executed -- a broken baseline refutes the verification
+    setup, not the candidate.
+    """
+    _check_same_interface(program_a, program_b)
+    names = resolve_backends(backends)
+
+    try:
+        result_a = SLinGen(options).generate_result(program_a)
+    except ReproError as exc:
+        raise CegisError(f"baseline generation failed: {exc}") from exc
+    try:
+        result_b = SLinGen(options_b or options).generate_result(program_b)
+    except Exception as exc:   # noqa: BLE001 - any crash refutes
+        return Counterexample(seed=-1, stage="execute", detail="generate",
+                              error_type=type(exc).__name__, error=str(exc))
+
+    kernels_a = {}
+    kernels_b = {}
+    for name in names:
+        try:
+            kernels_a[name] = make_executor(result_a.function, backend=name,
+                                            c_code=result_a.c_code)
+        except ReproError as exc:
+            raise CegisError(
+                f"baseline backend {name} unavailable: {exc}") from exc
+        try:
+            kernels_b[name] = make_executor(result_b.function, backend=name,
+                                            c_code=result_b.c_code)
+        except Exception as exc:   # noqa: BLE001
+            return Counterexample(seed=-1, stage="execute", detail=name,
+                                  error_type=type(exc).__name__,
+                                  error=str(exc))
+
+    shared = _output_leaders(program_a)
+    draws: List[int] = []
+    for known in seeds:
+        if known not in draws:
+            draws.append(int(known))
+    for index in range(budget):
+        fresh = seed + index
+        if fresh not in draws:
+            draws.append(fresh)
+
+    for draw in draws:
+        inputs = make_inputs(program_a, draw)
+
+        outputs_b: Dict[str, Dict[str, np.ndarray]] = {}
+        for name in names:
+            try:
+                expected = kernels_a[name].run(inputs)
+            except ReproError as exc:
+                raise CegisError(
+                    f"baseline execution failed on {name}: {exc}") from exc
+            try:
+                outputs_b[name] = kernels_b[name].run(inputs)
+            except Exception as exc:   # noqa: BLE001
+                return Counterexample(seed=draw, stage="execute", detail=name,
+                                      error_type=type(exc).__name__,
+                                      error=str(exc))
+            common = [buf for buf in shared
+                      if buf in expected and buf in outputs_b[name]]
+            want = {buf: expected[buf] for buf in common}
+            got = {buf: outputs_b[name][buf] for buf in common}
+            divergent = divergent_buffers(want, got, tol)
+            if divergent:
+                return Counterexample(
+                    seed=draw, stage="baseline",
+                    detail=f"{name}: candidate vs baseline",
+                    worst_delta=max_deviation(want, got),
+                    divergent=divergent)
+
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                divergent = divergent_buffers(outputs_b[first],
+                                              outputs_b[second], tol)
+                if divergent:
+                    return Counterexample(
+                        seed=draw, stage="backend",
+                        detail=f"{first} vs {second}",
+                        worst_delta=max_deviation(outputs_b[first],
+                                                  outputs_b[second]),
+                        divergent=divergent)
+
+        try:
+            reference = reference_outputs(program_a, inputs)
+        except (ReferenceSkip, ReproError):
+            # Not computable for these values (or beyond the evaluator's
+            # model): the backend comparisons above still stand, exactly
+            # like the fuzz oracle's reference_skip outcome.
+            continue
+        base = names[0]
+        common = [buf for buf in shared
+                  if buf in reference and buf in outputs_b[base]]
+        want = {buf: reference[buf] for buf in common}
+        got = {buf: outputs_b[base][buf] for buf in common}
+        divergent = divergent_buffers(want, got, ref_tol)
+        if divergent:
+            return Counterexample(
+                seed=draw, stage="reference",
+                detail=f"{base} vs reference",
+                worst_delta=max_deviation(want, got),
+                divergent=divergent)
+
+    return None

@@ -99,3 +99,8 @@ class TuningDBError(AutotuningError):
 
 class FuzzError(ReproError):
     """Raised by the differential fuzzer on malformed cases or corpora."""
+
+
+class CegisError(ReproError):
+    """Raised by the verified-optimization tier (unknown rewrite ids,
+    mismatched verification targets, unusable fix-bank roots)."""

@@ -23,8 +23,9 @@ CLI: ``python -m repro.fuzz run | replay | corpus`` (see
 :mod:`.__main__`).
 """
 
-from .corpus import (CorpusEntry, DEFAULT_CORPUS_DIR, entry_id, load_corpus,
-                     load_entry, replay_entry, save_entry)
+from .corpus import (CorpusEntry, DEFAULT_CORPUS_DIR, entry_id,
+                     entry_passes, load_corpus, load_entry, replay_entry,
+                     save_entry)
 from .generate import sample_case, sample_options, sample_program
 from .oracle import (CaseResult, DEFAULT_REF_TOL, DEFAULT_TOL, make_inputs,
                      reference_outputs, resolve_backends, run_case)
@@ -39,6 +40,6 @@ __all__ = [
     "CaseResult", "DEFAULT_TOL", "DEFAULT_REF_TOL",
     "make_inputs", "reference_outputs", "resolve_backends", "run_case",
     "ShrinkOutcome", "shrink_case",
-    "CorpusEntry", "DEFAULT_CORPUS_DIR", "entry_id",
+    "CorpusEntry", "DEFAULT_CORPUS_DIR", "entry_id", "entry_passes",
     "load_corpus", "load_entry", "replay_entry", "save_entry",
 ]

@@ -5,18 +5,25 @@ Usage (``PYTHONPATH=src python -m repro.fuzz <command>``)::
     run [--budget N] [--seed S] [--backends B[,B...]] [--tol T]
         [--ref-tol T] [--no-reference] [--max-statements N]
         [--max-size N] [--no-shrink] [--shrink-budget N] [--save DIR]
-        [--verbose]
+        [--json FILE] [--verified] [--verify-budget N] [--verbose]
         Sample N random (program, options) cases from the given seed and
         run each through the differential oracle.  Failures are shrunk
         to minimized repros and printed (and saved under --save as
         corpus-style JSON).  Exits 1 if any case crashed or diverged --
-        this is the budgeted fixed-seed job CI runs.
+        this is the budgeted fixed-seed job CI runs.  --json additionally
+        writes a machine-readable summary (cases, per-status and
+        per-backend counts, seed) so CI asserts "zero divergences"
+        structurally instead of grepping text.  --verified runs a small
+        CEGIS pass per executable case first and fuzzes with the accepted
+        rewrites applied -- the whole-grammar proof that the verified
+        tier preserves the oracle's zero-divergence bar.
 
     replay [FILE ...] [--corpus DIR] [--backends ...] [--tol T]
         [--ref-tol T]
         Re-run saved repro files (default: every entry of the committed
-        corpus, tests/fuzz_corpus/).  Every entry documents a *fixed*
-        bug, so each must come back ok; exits 1 otherwise.
+        corpus, tests/fuzz_corpus/).  An entry documents a *fixed* bug
+        (must come back ok) or, with an ``expect`` signature, a witness
+        (must still fail the documented way); exits 1 otherwise.
 
     corpus [--corpus DIR]
         List the committed corpus: id, status when found, note.
@@ -34,8 +41,16 @@ from typing import List, Optional
 from ..errors import ReproError
 from . import corpus as corpus_mod
 from .generate import sample_case
-from .oracle import DEFAULT_REF_TOL, DEFAULT_TOL, run_case
+from .oracle import DEFAULT_REF_TOL, DEFAULT_TOL, resolve_backends, run_case
 from .shrink import shrink_case
+
+#: Version of the ``run --json`` summary document; bump on any
+#: incompatible change.  The document is ``{"schema": N, "seed": int,
+#: "budget": int, "backends": [str...], "verified": bool, "counts":
+#: {"ok"|"reject"|"crash"|"divergence": int}, "verified_rewrites":
+#: {rewrite_id: int}, "failures": [{"seed", "status", "stage",
+#: "describe"}...]}``.
+RUN_SCHEMA_VERSION = 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +90,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save", metavar="DIR",
                      help="write minimized failures as corpus-style JSON "
                           "entries into DIR")
+    run.add_argument("--json", metavar="FILE", dest="json_path",
+                     help="write a machine-readable run summary to FILE "
+                          "('-' for stdout); see RUN_SCHEMA_VERSION")
+    run.add_argument("--verified", action="store_true",
+                     help="CEGIS-verify each case first and fuzz with the "
+                          "accepted rewrites applied")
+    run.add_argument("--verify-budget", type=int, default=2, metavar="N",
+                     help="input draws per candidate rewrite under "
+                          "--verified (default 2)")
     run.add_argument("--verbose", action="store_true",
                      help="print a line per case, not only failures")
 
@@ -99,17 +123,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _verify_case(case, args: argparse.Namespace):
+    """Run a small CEGIS pass on one sampled case; returns the case with
+    the accepted rewrites enabled (or unchanged when the case is not
+    verifiable -- rejected programs stay rejects)."""
+    import dataclasses
+
+    from ..cegis.loop import optimize_program
+    try:
+        program = case.program.parse()
+        outcome = optimize_program(
+            program, case.options, budget=args.verify_budget,
+            seed=case.input_seed, backends=args.backends,
+            tol=args.tol, ref_tol=args.ref_tol)
+    except ReproError:
+        return case, ()
+    if not outcome.accepted:
+        return case, ()
+    options = dataclasses.replace(
+        case.options, verified_rewrites=tuple(outcome.accepted))
+    return dataclasses.replace(case, options=options), tuple(outcome.accepted)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     counts = {"ok": 0, "reject": 0, "crash": 0, "divergence": 0}
     failures = 0
+    failure_docs = []
+    applied: dict = {}
     reference = not args.no_reference
     for index in range(args.budget):
         seed = args.seed + index
         case = sample_case(seed, max_statements=args.max_statements,
                            max_size=args.max_size)
+        if args.verified:
+            case, accepted = _verify_case(case, args)
+            for rewrite_id in accepted:
+                applied[rewrite_id] = applied.get(rewrite_id, 0) + 1
         result = run_case(case, backends=args.backends, tol=args.tol,
                           reference=reference, ref_tol=args.ref_tol)
         counts[result.status] += 1
+        if result.failed:
+            failure_docs.append({"seed": seed, "status": result.status,
+                                 "stage": result.stage,
+                                 "describe": result.describe()})
         if args.verbose or result.failed:
             print(f"seed {seed:8d}  {result.describe()}")
         if not result.failed:
@@ -137,6 +193,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     total = args.budget
     print(f"{total} cases: {counts['ok']} ok, {counts['reject']} rejected, "
           f"{counts['crash']} crashed, {counts['divergence']} diverged")
+    if args.json_path:
+        import json
+
+        summary = {
+            "schema": RUN_SCHEMA_VERSION,
+            "seed": args.seed,
+            "budget": args.budget,
+            "backends": resolve_backends(args.backends),
+            "verified": bool(args.verified),
+            "counts": dict(counts),
+            "verified_rewrites": dict(sorted(applied.items())),
+            "failures": failure_docs,
+        }
+        text = json.dumps(summary, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"summary written to {args.json_path}")
     if failures:
         print(f"{failures} unresolved failure(s)", file=sys.stderr)
         return 1
@@ -155,11 +231,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     for entry in entries:
         result = corpus_mod.replay_entry(entry, backends=args.backends,
                                          tol=args.tol, ref_tol=args.ref_tol)
-        status = "ok" if not result.failed else "FAIL"
-        if result.failed:
+        passed = corpus_mod.entry_passes(entry, result)
+        if entry.expects_failure:
+            status = "witness" if passed else "FAIL"
+        else:
+            status = "ok" if passed else "FAIL"
+        if not passed:
             failures += 1
         note = f"  ({entry.note})" if entry.note else ""
-        print(f"{entry.entry_id}  {status:4s} "
+        print(f"{entry.entry_id}  {status:7s} "
               f"was:{entry.found_status:10s} now:{result.describe()}{note}")
     if failures:
         print(f"{failures} of {len(entries)} corpus entries fail",

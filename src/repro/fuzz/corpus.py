@@ -13,6 +13,15 @@ and replays in two ways:
 A replayed entry must come back ``ok``: corpus entries document *fixed*
 bugs, so a red replay means a regression (or an entry committed before
 its fix).
+
+The exception is entries with an ``expect`` field -- an expected failure
+signature (as :meth:`~repro.fuzz.oracle.CaseResult.signature`).  These
+are *witnesses*, not fixed bugs: they document that the oracle still
+catches a known-unsound configuration (e.g. a CEGIS-refuted rewrite
+forced on via ``Options.verified_rewrites``).  Such an entry passes when
+the replay reproduces the expected signature, and fails either when the
+original failure "heals" silently (the oracle lost its teeth) or when
+the failure mode changed.
 """
 
 from __future__ import annotations
@@ -40,11 +49,16 @@ class CorpusEntry:
     entry_id: str
     note: str = ""
     found: Dict[str, object] = field(default_factory=dict)
+    expect: List[str] = field(default_factory=list)
     path: Optional[str] = None
 
     @property
     def found_status(self) -> str:
         return str(self.found.get("status", "?"))
+
+    @property
+    def expects_failure(self) -> bool:
+        return bool(self.expect)
 
 
 def entry_id(case: FuzzCase) -> str:
@@ -54,13 +68,19 @@ def entry_id(case: FuzzCase) -> str:
 
 
 def save_entry(case: FuzzCase, result: CaseResult, note: str,
-               directory: str) -> str:
-    """Write one corpus entry; returns the file path."""
+               directory: str, expect: Optional[List[str]] = None) -> str:
+    """Write one corpus entry; returns the file path.
+
+    ``expect`` marks a witness entry: the failure signature the replay
+    must *reproduce* (normally ``list(result.signature())``), instead of
+    the default expectation of coming back ``ok``."""
     os.makedirs(directory, exist_ok=True)
     identifier = entry_id(case)
     doc = case.to_json()
     doc["id"] = identifier
     doc["note"] = note
+    if expect:
+        doc["expect"] = [str(part) for part in expect]
     doc["found"] = {
         "status": result.status,
         "stage": result.stage,
@@ -89,6 +109,8 @@ def load_entry(path: str) -> CorpusEntry:
                        entry_id=str(doc.get("id", entry_id(case))),
                        note=str(doc.get("note", "")),
                        found=dict(doc.get("found", {})),
+                       expect=[str(part)
+                               for part in doc.get("expect") or []],
                        path=path)
 
 
@@ -106,6 +128,19 @@ def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> List[CorpusEntry]:
 def replay_entry(entry: CorpusEntry, backends: str = "auto",
                  tol: float = DEFAULT_TOL,
                  ref_tol: float = DEFAULT_REF_TOL) -> CaseResult:
-    """Run one corpus entry through the oracle (expected: ``ok``)."""
+    """Run one corpus entry through the oracle (expected: ``ok``, or the
+    entry's ``expect`` signature -- see :func:`entry_passes`)."""
     return run_case(entry.case, backends=backends, tol=tol,
                     reference=True, ref_tol=ref_tol)
+
+
+def entry_passes(entry: CorpusEntry, result: CaseResult) -> bool:
+    """Whether a replay outcome upholds what the entry documents.
+
+    Regular entries (no ``expect``) document fixed bugs and must come
+    back ``ok``.  Witness entries must reproduce their expected failure
+    signature exactly -- an ``ok`` replay of a witness means the oracle
+    stopped catching a known-unsound configuration."""
+    if entry.expects_failure:
+        return list(result.signature()) == list(entry.expect)
+    return result.status == "ok"

@@ -407,6 +407,21 @@ def _mismatch_mask(a: np.ndarray, b: np.ndarray, tol: float) -> np.ndarray:
     return ~(equal | close)
 
 
+#: Public name of the elementwise comparison, for reuse outside the
+#: fuzzer (the CEGIS verifier judges candidates with the same predicate
+#: the oracle judges backends with).
+mismatch_mask = _mismatch_mask
+
+
+def divergent_buffers(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray],
+                      tol: float) -> List[str]:
+    """Names of buffers present in both dicts that disagree beyond
+    ``tol`` (in ``a``'s iteration order, so callers report the first
+    divergence deterministically)."""
+    return [buf for buf in a
+            if buf in b and _mismatch_mask(a[buf], b[buf], tol).any()]
+
+
 def max_deviation(a: Dict[str, np.ndarray],
                   b: Dict[str, np.ndarray]) -> float:
     """Largest |delta| between two output dicts (inf on NaN mismatch)."""
@@ -468,10 +483,8 @@ def run_case(case: FuzzCase, backends: str = "auto",
     outcome = CaseResult(status="ok", backends=names)
     for i, first in enumerate(names):
         for second in names[i + 1:]:
-            divergent = [
-                buf for buf in outputs[first]
-                if _mismatch_mask(outputs[first][buf],
-                                  outputs[second][buf], tol).any()]
+            divergent = divergent_buffers(outputs[first], outputs[second],
+                                          tol)
             delta = max_deviation(outputs[first], outputs[second])
             if delta > outcome.worst_delta and not divergent:
                 outcome.worst_delta = delta
@@ -487,10 +500,7 @@ def run_case(case: FuzzCase, backends: str = "auto",
         try:
             expected = reference_outputs(program, inputs)
             outcome.reference_checked = True
-            divergent = [
-                buf for buf in expected
-                if _mismatch_mask(outputs[base][buf], expected[buf],
-                                  ref_tol).any()]
+            divergent = divergent_buffers(expected, outputs[base], ref_tol)
             if divergent:
                 delta = max_deviation(
                     {b: outputs[base][b] for b in expected}, expected)

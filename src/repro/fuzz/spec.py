@@ -178,6 +178,11 @@ def options_from_json(doc: Dict[str, object]) -> Options:
     if kwargs.get("stage1_variants") is not None:
         kwargs["stage1_variants"] = {
             int(k): str(v) for k, v in dict(kwargs["stage1_variants"]).items()}
+    if kwargs.get("verified_rewrites") is not None:
+        # JSON has no tuples; restore the field to its canonical type so
+        # round-tripped options compare equal to constructed ones
+        kwargs["verified_rewrites"] = tuple(
+            str(rid) for rid in kwargs["verified_rewrites"])
     return Options(**kwargs)
 
 

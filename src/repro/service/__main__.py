@@ -20,6 +20,9 @@ defaults to ``~/.cache/repro-slingen/kernels`` and can be moved with
 The global flags ``--tuned`` / ``--tuning-db DIR`` (before the command:
 ``python -m repro.service --tuned warm potrf:4``) make the service consult
 the persistent tuning database and generate with tuned-best options.
+Likewise ``--verified`` / ``--fixbank DIR`` make it consult the CEGIS fix
+bank and apply the banked verified rewrites before codegen; the two
+compose (tuned knobs + verified rewrite set).
 """
 
 from __future__ import annotations
@@ -50,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "with the tuned options")
     parser.add_argument("--tuning-db", default=None, metavar="DIR",
                         help="tuning database root (implies --tuned)")
+    parser.add_argument("--verified", action="store_true",
+                        help="consult the persistent CEGIS fix bank: "
+                             "workloads with accepted rewrites generate "
+                             "with them applied")
+    parser.add_argument("--fixbank", default=None, metavar="DIR",
+                        help="fix-bank root (implies --verified)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     warm = sub.add_parser("warm", help="generate-and-cache workloads")
@@ -126,6 +135,8 @@ def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
         state = "hit " if response.cache_hit else "MISS"
         if response.tuned:
             state += " tuned"
+        if response.verified:
+            state += " verified"
         perf = response.result.performance
         print(f"{(response.label or ''):{width}s}  {state}  "
               f"{response.latency_s * 1e3:8.1f} ms  "
@@ -269,9 +280,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.tuned or args.tuning_db:
         from ..tuning.db import TuningDB
         tuning_db = TuningDB(root=args.tuning_db)
+    fix_bank = None
+    if args.verified or args.fixbank:
+        from ..cegis.fixbank import FixBank
+        fix_bank = FixBank(root=args.fixbank)
     service = KernelService(store=store,
                             max_workers=getattr(args, "workers", None),
-                            tuning_db=tuning_db)
+                            tuning_db=tuning_db, fix_bank=fix_bank)
     try:
         if args.command == "warm":
             return _cmd_warm(service, args)

@@ -15,13 +15,15 @@ load generator) can request kernels from a running daemon:
 Server-reported errors (HTTP 4xx/5xx with a JSON ``{"error": ...}`` body)
 raise :class:`~repro.errors.ServiceError` carrying the status code and the
 daemon's message; a ``503 server busy`` is retried ``busy_retries`` times
-with a short backoff before giving up, so a briefly saturated daemon
-looks slow, not broken.
+with decorrelated-jitter backoff before giving up, so a briefly
+saturated daemon looks slow, not broken -- and a herd of clients that
+all hit 503 together does not re-stampede it in lockstep.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -34,11 +36,17 @@ class ServiceClient:
     """A thin JSON client bound to one daemon base URL."""
 
     def __init__(self, base_url: str, timeout: float = 120.0,
-                 busy_retries: int = 12, busy_backoff_s: float = 0.05):
+                 busy_retries: int = 12, busy_backoff_s: float = 0.05,
+                 busy_backoff_cap_s: float = 1.0,
+                 jitter_seed: Optional[int] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.busy_retries = busy_retries
         self.busy_backoff_s = busy_backoff_s
+        self.busy_backoff_cap_s = busy_backoff_cap_s
+        # Decorrelated jitter (seedable so tests can pin the schedule):
+        # each 503 sleeps uniform(base, 3 * previous_sleep), capped.
+        self._rng = random.Random(jitter_seed)
 
     # -- transport -----------------------------------------------------------
 
@@ -50,6 +58,7 @@ class ServiceClient:
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
         attempts = self.busy_retries + 1
+        delay = self.busy_backoff_s
         for attempt in range(attempts):
             try:
                 with urllib.request.urlopen(request,
@@ -58,7 +67,10 @@ class ServiceClient:
             except urllib.error.HTTPError as exc:
                 detail = self._error_detail(exc)
                 if exc.code == 503 and attempt + 1 < attempts:
-                    time.sleep(self.busy_backoff_s * (attempt + 1))
+                    time.sleep(delay)
+                    delay = min(self.busy_backoff_cap_s,
+                                self._rng.uniform(self.busy_backoff_s,
+                                                  3.0 * delay))
                     continue
                 raise ServiceError(
                     f"{method} {path} failed with HTTP {exc.code}: "

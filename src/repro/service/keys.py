@@ -34,7 +34,9 @@ from ..slingen.options import Options
 #: (generator semantics, pass pipeline, C unparser, ...).
 #: v2: widened default codegen search space (block_size and
 #: scalar-replacement axes) and the ``stage1_variants`` option.
-KEY_SCHEMA_VERSION = 2
+#: v3: the ``verified_rewrites`` option (CEGIS tier) -- kernels generated
+#: with a banked rewrite set must never collide with unverified ones.
+KEY_SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------

@@ -104,6 +104,7 @@ def _response_doc(response: ServiceResponse,
         "cache_hit": response.cache_hit,
         "coalesced": response.coalesced,
         "tuned": response.tuned,
+        "verified": response.verified,
         "latency_s": response.latency_s,
         "variant": response.result.variant_label,
         "performance": {

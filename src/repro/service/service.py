@@ -87,6 +87,7 @@ class ServiceResponse:
     latency_s: float
     label: Optional[str] = None
     tuned: bool = False             # generated with TuningDB-best options
+    verified: bool = False          # generated with FixBank rewrites applied
     coalesced: bool = False         # shared another request's generation
 
     def kernel(self, backend: str = "auto"):
@@ -131,6 +132,7 @@ class ServiceStats:
     generations: int = 0            # actual SLinGen pipeline executions
     coalesced: int = 0              # misses that shared another's generation
     tuned: int = 0                  # requests answered with tuned options
+    verified: int = 0               # requests answered with banked rewrites
     hit_latency_s: float = 0.0
     miss_latency_s: float = 0.0
     records: "deque[Dict[str, object]]" = field(
@@ -165,12 +167,15 @@ class ServiceStats:
                     self.generations += 1
             if response.tuned:
                 self.tuned += 1
+            if response.verified:
+                self.verified += 1
             self.records.append({
                 "key": response.key,
                 "label": response.label,
                 "hit": response.cache_hit,
                 "coalesced": response.coalesced,
                 "tuned": response.tuned,
+                "verified": response.verified,
                 "latency_s": response.latency_s,
             })
 
@@ -178,8 +183,9 @@ class ServiceStats:
         """A consistent, JSON-able view of the counters.
 
         Schema (all keys always present): ``requests``, ``hits``,
-        ``misses``, ``errors``, ``generations``, ``coalesced``, ``tuned``
-        -- monotone integer counters as documented on the class;
+        ``misses``, ``errors``, ``generations``, ``coalesced``, ``tuned``,
+        ``verified`` -- monotone integer counters as documented on the
+        class;
         ``hit_rate`` -- ``hits / requests`` (0.0 before any request);
         ``hit_latency_s`` / ``miss_latency_s`` -- summed wall-clock
         latency per outcome; ``mean_hit_latency_s`` /
@@ -197,6 +203,7 @@ class ServiceStats:
                 "generations": self.generations,
                 "coalesced": self.coalesced,
                 "tuned": self.tuned,
+                "verified": self.verified,
                 "hit_rate": self.hit_rate,
                 "hit_latency_s": self.hit_latency_s,
                 "miss_latency_s": self.miss_latency_s,
@@ -262,6 +269,7 @@ class KernelService:
                  max_workers: Optional[int] = None,
                  executor: str = "process",
                  tuning_db: Optional[object] = None,
+                 fix_bank: Optional[object] = None,
                  single_flight: bool = True):
         """``executor`` selects the miss pool for :meth:`generate_many`:
         ``"process"`` (default) gives true CPU parallelism for the
@@ -278,6 +286,14 @@ class KernelService:
         cache miss generates the empirically best known kernel instead of
         re-running the model-driven search.
 
+        ``fix_bank`` (a :class:`~repro.cegis.fixbank.FixBank`) makes the
+        service additionally apply CEGIS-verified rewrites: when the
+        requested *(program, machine)* has a fix record with accepted
+        rewrite ids, ``Options.verified_rewrites`` is set from it before
+        keying and generation.  Composes with ``tuning_db`` -- the tuned
+        record decides the searched knobs, the fix record decides the
+        rewrite set.
+
         ``single_flight=False`` disables the concurrent-miss coalescing of
         :meth:`generate` (every caller generates independently); it exists
         for tests and for measuring what coalescing buys
@@ -291,6 +307,7 @@ class KernelService:
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_kind = executor
         self.tuning_db = tuning_db
+        self.fix_bank = fix_bank
         self.single_flight = single_flight
         self.stats = ServiceStats()
         self._flight = _SingleFlight()
@@ -304,31 +321,42 @@ class KernelService:
         return request
 
     def _effective_options(self, request: GenerationRequest
-                           ) -> "tuple[Options, bool]":
-        """The options this request generates with, and whether they came
-        from the tuning database.
+                           ) -> "tuple[Options, bool, bool]":
+        """The options this request generates with, plus whether they came
+        from the tuning database and whether banked verified rewrites were
+        applied.
 
-        Tuned options participate in content addressing exactly like
-        user-supplied ones (the key is computed from the *effective*
-        options), so a tuned and an untuned request for the same program
-        are distinct cache entries and results stay a pure function of the
-        key.
+        Tuned options and banked rewrites participate in content
+        addressing exactly like user-supplied ones (the key is computed
+        from the *effective* options), so tuned, verified and plain
+        requests for the same program are distinct cache entries and
+        results stay a pure function of the key.
         """
         options = (request.options or self.options).validate()
-        if self.tuning_db is None:
-            return options, False
-        from ..tuning.db import tuning_key
-        tuned = self.tuning_db.best_options(
-            tuning_key(request.program, self.machine,
-                       vectorize=options.vectorize), base=options)
-        if tuned is None:
-            return options, False
-        return tuned.validate(), True
+        tuned = False
+        if self.tuning_db is not None:
+            from ..tuning.db import tuning_key
+            best = self.tuning_db.best_options(
+                tuning_key(request.program, self.machine,
+                           vectorize=options.vectorize), base=options)
+            if best is not None:
+                options = best.validate()
+                tuned = True
+        verified = False
+        if self.fix_bank is not None:
+            from ..cegis.fixbank import fixbank_key
+            banked = self.fix_bank.verified_options(
+                fixbank_key(request.program, self.machine,
+                            vectorize=options.vectorize), base=options)
+            if banked is not None and banked.verified_rewrites:
+                options = banked.validate()
+                verified = True
+        return options, tuned, verified
 
     def request_key(self, request: Union[GenerationRequest, Program]) -> str:
         """The content key this request resolves to (no generation)."""
         request = self._coerce(request)
-        options, _ = self._effective_options(request)
+        options, _, _ = self._effective_options(request)
         return cache_key(request.program, options, self.machine,
                          nominal_flops=request.nominal_flops)
 
@@ -344,7 +372,7 @@ class KernelService:
         """
         request = self._coerce(request)
         started = time.perf_counter()
-        options, tuned = self._effective_options(request)
+        options, tuned, verified = self._effective_options(request)
         key = cache_key(request.program, options, self.machine,
                         nominal_flops=request.nominal_flops)
         result = self.store.get(key)
@@ -361,7 +389,7 @@ class KernelService:
             key=key, result=result, cache_hit=hit,
             latency_s=time.perf_counter() - started,
             label=request.label or request.program.name,
-            tuned=tuned, coalesced=coalesced)
+            tuned=tuned, verified=verified, coalesced=coalesced)
         self.stats.record(response)
         return response
 
@@ -434,6 +462,7 @@ class KernelService:
         keys: List[str] = []
         effective: List[Options] = []
         tuned_flags: List[bool] = []
+        verified_flags: List[bool] = []
         resolved: List[Optional[GenerationResult]] = []
         hit_flags: List[bool] = []
         # Hits complete during this first pass; their latency must be
@@ -443,9 +472,10 @@ class KernelService:
         pending: Dict[str, List[int]] = {}
         for idx, request in enumerate(coerced):
             started[idx] = time.perf_counter()
-            options, tuned = self._effective_options(request)
+            options, tuned, verified = self._effective_options(request)
             effective.append(options)
             tuned_flags.append(tuned)
+            verified_flags.append(verified)
             key = cache_key(request.program, options, self.machine,
                             nominal_flops=request.nominal_flops)
             keys.append(key)
@@ -523,7 +553,8 @@ class KernelService:
                 key=keys[idx], result=result, cache_hit=hit_flags[idx],
                 latency_s=end - started[idx],
                 label=request.label or request.program.name,
-                tuned=tuned_flags[idx], coalesced=coalesced_flags[idx])
+                tuned=tuned_flags[idx], verified=verified_flags[idx],
+                coalesced=coalesced_flags[idx])
             self.stats.record(response)
             responses.append(response)
         return responses

@@ -25,7 +25,7 @@ the performance estimate, and enough metadata to reproduce the choice.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -238,6 +238,14 @@ def build_candidate(program: Program, options: Options,
     rewrite_report = RewriteReport()
     if options.rewrite_rules:
         rewrite_report = apply_rewrite_rules(stage1.program)
+
+    if options.verified_rewrites:
+        # CEGIS-verified unsound rewrites run after the sound R0/R1
+        # tier, on the same basic program every later stage consumes.
+        from ..cegis.rewrites import apply_sequence
+        stage1 = dataclasses_replace(
+            stage1, program=apply_sequence(options.verified_rewrites,
+                                           stage1.program))
 
     lowering = LoweringOptions(
         vector_width=codegen.vector_width,

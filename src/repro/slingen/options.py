@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -37,6 +37,13 @@ class Options:
         ``variant_choices`` of a :class:`~repro.slingen.stage1.Stage1Result`.
         ``None`` (the default) lets the autotuner choose; the empirical
         tuner uses this to replay a tuned algorithm deterministically.
+    verified_rewrites:
+        Ids of CEGIS-verified rewrites (:mod:`repro.cegis.rewrites`) to
+        apply to the basic program after the sound R0/R1 rules, in
+        catalog order.  These transformations are *unsound in general*;
+        callers must only enable ids a verification run accepted for
+        this concrete program (normally via a
+        :class:`~repro.cegis.fixbank.FixRecord`).
     """
 
     vectorize: bool = True
@@ -54,6 +61,7 @@ class Options:
     stage1_variants: Optional[Dict[int, str]] = None
     annotate_code: bool = True
     function_name: Optional[str] = None
+    verified_rewrites: Tuple[str, ...] = ()
 
     def validate(self) -> "Options":
         """Check option consistency; raises
@@ -96,6 +104,17 @@ class Options:
             raise ConfigurationError(
                 f"function_name must be a valid C identifier, "
                 f"got {self.function_name!r}")
+        if self.verified_rewrites:
+            # normalize to a tuple so JSON round-trips (which produce
+            # lists) hash identically in the service cache keys
+            self.verified_rewrites = tuple(self.verified_rewrites)
+            from ..cegis.rewrites import known_ids
+            known = set(known_ids())
+            for rewrite_id in self.verified_rewrites:
+                if rewrite_id not in known:
+                    raise ConfigurationError(
+                        f"unknown verified rewrite {rewrite_id!r}; "
+                        f"known: {', '.join(sorted(known))}")
         return self
 
     @property

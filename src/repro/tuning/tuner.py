@@ -67,12 +67,17 @@ class Autotuner:
                  machine: Optional[MicroArchitecture] = None,
                  measurer: "str | Measurer | None" = None,
                  strategy: "str | SearchStrategy" = "hill-climb",
-                 budget: int = 16, seed: int = 0):
+                 budget: int = 16, seed: int = 0,
+                 fix_bank: Optional[object] = None):
         """``db=None`` keeps results in memory only (nothing persisted).
         ``measurer=None`` auto-selects by environment (compiled timing when
         a C compiler exists, interpreter operation counts otherwise;
-        ``REPRO_TUNE_BACKEND`` overrides)."""
+        ``REPRO_TUNE_BACKEND`` overrides).  ``fix_bank`` (a
+        :class:`~repro.cegis.fixbank.FixBank`) composes CEGIS-verified
+        rewrites into :meth:`tuned_options` results, so the tuned winner
+        and the verified rewrite set ship together."""
         self.db = db
+        self.fix_bank = fix_bank
         self.machine = machine or default_machine()
         self.measurer = resolve_measurer(measurer, machine=self.machine)
         self.strategy = make_strategy(strategy, seed=seed)
@@ -202,7 +207,15 @@ class Autotuner:
                 record = self.tune_case(case, options=base)
             else:
                 record = self.tune(program, options=base)
-        return record.apply(base)
+        tuned = record.apply(base)
+        if self.fix_bank is not None:
+            from ..cegis.fixbank import fixbank_key
+            banked = self.fix_bank.verified_options(
+                fixbank_key(program, self.machine,
+                            vectorize=base.vectorize), base=tuned)
+            if banked is not None:
+                tuned = banked
+        return tuned
 
     def tuned_options_for_case(self, case: BenchmarkCase,
                                base: Optional[Options] = None) -> Options:

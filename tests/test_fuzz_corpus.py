@@ -13,7 +13,7 @@ import os
 
 import pytest
 
-from repro.fuzz import load_corpus, replay_entry, sample_case
+from repro.fuzz import entry_passes, load_corpus, replay_entry, sample_case
 
 CORPUS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "fuzz_corpus")
@@ -31,9 +31,14 @@ def test_corpus_is_populated():
     "entry", ENTRIES,
     ids=[f"{e.entry_id}-{e.case.program.name}" for e in ENTRIES])
 def test_corpus_entry_replays_green(entry):
+    # regular entries document fixed bugs and must replay ok; witness
+    # entries (with an ``expect`` signature) document that the oracle
+    # still refutes a known-unsound configuration and must keep failing
+    # exactly the documented way
     result = replay_entry(entry)
-    assert result.status == "ok", (
-        f"fixed bug regressed ({entry.note}): {result.describe()}")
+    assert entry_passes(entry, result), (
+        f"corpus expectation broken ({entry.note}): expected "
+        f"{entry.expect or ['ok']}, got {result.describe()}")
 
 
 class TestGeneratorDeterminism:
