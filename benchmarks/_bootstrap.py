@@ -1,0 +1,29 @@
+"""One shared bootstrap for everything under ``benchmarks/``.
+
+The benchmark scripts are runnable both standalone (``python
+benchmarks/bench_numpy_backend.py``) and through pytest; either way they
+must resolve the *in-tree* ``repro`` package -- the same one
+``python -m repro.perf`` and the repo-root ``conftest.py`` resolve --
+not whatever happens to be installed.  This module is that single
+decision: it prepends the checkout's ``src`` directory to ``sys.path``
+exactly like the repo-root ``conftest.py`` does, and every benchmark
+script and fixture imports it instead of repeating the path logic.
+"""
+
+import os
+import sys
+
+#: The repository checkout this benchmarks/ directory belongs to.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def ensure_repro_importable() -> str:
+    """Make the in-tree ``repro`` package importable; returns the repo
+    root (callers use it to locate ``results/`` and committed artifacts)."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    return REPO_ROOT
+
+
+ensure_repro_importable()

@@ -17,8 +17,8 @@ Asserts the coalesced run performs **exactly one** generation per workload
 under 16-way duplicate load and at least 5x fewer generations than the
 uncoalesced run in aggregate.  Run with::
 
-    PYTHONPATH=src python benchmarks/bench_concurrent_service.py
-    PYTHONPATH=src python benchmarks/bench_concurrent_service.py \
+    python benchmarks/bench_concurrent_service.py
+    python benchmarks/bench_concurrent_service.py \
         --output results/service_concurrency.txt
 """
 
@@ -27,6 +27,10 @@ import sys
 import tempfile
 import threading
 import time
+
+from _bootstrap import ensure_repro_importable
+
+ensure_repro_importable()
 
 CLIENTS = 16
 WORKLOADS = ["potrf:4", "potrf:8", "trtri:8", "gemm:4"]

@@ -1,19 +1,22 @@
 """Execution-backend benchmark: interpreter vs NumPy vs compiled C.
 
-For each (kernel, size) the same generated C-IR function is executed on
-every available backend and timed (median seconds per call); all backends
-must agree element-wise within 1e-12, and the NumPy translation must be
-at least 10x faster than the C-IR interpreter (the whole point of the
-backend: real numeric verification and benchmarking without a compiler,
-at speeds the interpreter cannot reach).
+A thin consumer of the :mod:`repro.perf` manifest runner: the requested
+kernels x sizes x every available backend become an ad-hoc manifest, the
+runner produces the schema-versioned records (robust median + MAD, the
+same single schema the committed ``BENCH_trajectory.jsonl`` stores), and
+this script keeps only its two assertions -- every backend's outputs
+validate against the case oracle, and the NumPy translation is at least
+10x faster than the C-IR interpreter (the whole point of the backend:
+real numeric verification and benchmarking without a compiler, at speeds
+the interpreter cannot reach).  Strict 1e-12 cross-backend agreement is
+``python -m repro.backend crosscheck``'s job, run separately in CI.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_numpy_backend.py
+    python benchmarks/bench_numpy_backend.py
         [--sizes N ...] [--kernels K ...] [--json FILE] [--output FILE]
 
-``--json`` writes machine-readable records ``{kernel, size, backend,
-median_seconds}`` (the CI perf-smoke artifact ``BENCH_ci.json``);
+``--json`` writes the runner's run document (trajectory-schema records);
 ``--output`` writes the text table (default ``results/backend_numpy.txt``
 when run from the repository root, printed to stdout otherwise).
 """
@@ -21,58 +24,66 @@ when run from the repository root, printed to stdout otherwise).
 import argparse
 import json
 import os
-import statistics
 import sys
 
+from _bootstrap import ensure_repro_importable
+
+ensure_repro_importable()
+
 MIN_NUMPY_SPEEDUP = 10.0
-TOLERANCE = 1e-12
 DEFAULT_KERNELS = ["potrf", "gemm"]
 DEFAULT_SIZES = [4, 8]
 
 
-def bench_one(name: str, size: int, repeats: int):
-    """Time one kernel on every available backend; returns (rows, fail)."""
-    import numpy as np
+def build_manifest(kernels, sizes, repeats):
+    """The kernels x sizes x backends matrix as a perf manifest."""
+    from repro.perf.manifest import SMOKE_BACKENDS, Manifest, ManifestEntry
 
-    from repro.applications import make_case
-    from repro.backend import compiler_available, make_executor
-    from repro.slingen import Options, SLinGen
+    return Manifest(name="backend-numpy", entries=[
+        ManifestEntry(kernel=f"{kernel}:{size}", backend=backend,
+                      repeats=repeats)
+        for kernel in kernels for size in sizes
+        for backend in SMOKE_BACKENDS])
 
-    case = make_case(name, size)
-    result = SLinGen(Options(annotate_code=False)).generate_result(
-        case.program, nominal_flops=case.nominal_flops)
-    inputs = case.make_inputs(seed=17)
 
-    backends = ["interpreter", "numpy"]
-    if compiler_available():
-        backends.append("compiled")
+def check_run(run):
+    """The script's assertions over the runner's records."""
+    failures = []
+    timing = {}             # (kernel, backend) -> median seconds
+    for record in run.records:
+        timing[(record["kernel"], record["backend"])] = \
+            record["median_seconds"]
+        if record["correct"] is False:
+            failures.append(f"{record['entry']} output disagrees with the "
+                            f"case oracle")
+    for (kernel, backend), median in sorted(timing.items()):
+        if backend != "numpy":
+            continue
+        interp = timing.get((kernel, "interpreter"))
+        if interp is None:
+            continue
+        speedup = interp / max(median, 1e-12)
+        if speedup < MIN_NUMPY_SPEEDUP:
+            failures.append(
+                f"{kernel} numpy backend only {speedup:.1f}x faster than "
+                f"the interpreter (expected >= {MIN_NUMPY_SPEEDUP:.0f}x)")
+    return failures
 
-    rows = []
-    outputs = {}
-    for backend in backends:
-        kernel = make_executor(result.function, backend=backend,
-                               c_code=result.c_code)
-        outputs[backend] = kernel.run(inputs)
-        seconds = statistics.median(kernel.time(inputs, repeats=repeats))
-        rows.append({"kernel": name, "size": size, "backend": backend,
-                     "median_seconds": seconds})
 
-    fail = None
-    reference = outputs["interpreter"]
-    for backend in backends[1:]:
-        for key in reference:
-            deviation = float(np.max(np.abs(outputs[backend][key]
-                                            - reference[key])))
-            if deviation > TOLERANCE:
-                fail = (f"{name}:{size} {backend} deviates from the "
-                        f"interpreter by {deviation:.3e} on {key!r}")
-    timing = {row["backend"]: row["median_seconds"] for row in rows}
-    speedup = timing["interpreter"] / max(timing["numpy"], 1e-12)
-    if fail is None and speedup < MIN_NUMPY_SPEEDUP:
-        fail = (f"{name}:{size} numpy backend only {speedup:.1f}x faster "
-                f"than the interpreter (expected >= "
-                f"{MIN_NUMPY_SPEEDUP:.0f}x)")
-    return rows, fail
+def format_table(run):
+    """The historical kernel/backend/us-per-call/ratio layout."""
+    lines = [f"{'kernel':10s} {'backend':12s} {'median us/call':>15s} "
+             f"{'vs interpreter':>15s}"]
+    interp = {record["kernel"]: record["median_seconds"]
+              for record in run.records
+              if record["backend"] == "interpreter"}
+    for record in run.records:
+        ratio = interp.get(record["kernel"], 0.0) \
+            / max(record["median_seconds"], 1e-12)
+        lines.append(f"{record['kernel']:10s} {record['backend']:12s} "
+                     f"{record['median_seconds'] * 1e6:15.1f} "
+                     f"{ratio:14.1f}x")
+    return "\n".join(lines)
 
 
 def run(argv=None) -> int:
@@ -82,32 +93,24 @@ def run(argv=None) -> int:
                         default=DEFAULT_SIZES)
     parser.add_argument("--repeats", type=int, default=7)
     parser.add_argument("--json", default=None, metavar="FILE",
-                        help="write records as JSON (CI artifact)")
+                        help="write the run document as JSON "
+                             "(trajectory-schema records)")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the text table to FILE "
                              "(default: results/backend_numpy.txt when "
                              "that directory exists)")
     args = parser.parse_args(argv)
 
-    lines = [f"{'kernel':10s} {'backend':12s} {'median us/call':>15s} "
-             f"{'vs interpreter':>15s}"]
-    records = []
-    failures = []
-    for name in args.kernels:
-        for size in args.sizes:
-            rows, fail = bench_one(name, size, args.repeats)
-            records.extend(rows)
-            timing = {r["backend"]: r["median_seconds"] for r in rows}
-            for backend in timing:
-                ratio = timing["interpreter"] / max(timing[backend], 1e-12)
-                lines.append(
-                    f"{name + ':' + str(size):10s} {backend:12s} "
-                    f"{timing[backend] * 1e6:15.1f} {ratio:14.1f}x")
-            if fail:
-                failures.append(fail)
+    from repro.perf import run_manifest
 
-    table = "\n".join(lines)
+    manifest = build_manifest(args.kernels, args.sizes, args.repeats)
+    bench = run_manifest(manifest, validate=True)
+    failures = check_run(bench)
+
+    table = format_table(bench)
     print(table)
+    for skip in bench.skipped:
+        print(f"skipped {skip.entry}: {skip.reason}")
     output = args.output
     if output is None and os.path.isdir("results"):
         output = os.path.join("results", "backend_numpy.txt")
@@ -118,16 +121,16 @@ def run(argv=None) -> int:
         print(f"wrote {output}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(records, handle, indent=2, sort_keys=True)
+            json.dump(bench.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {args.json} ({len(records)} records)")
+        print(f"wrote {args.json} ({len(bench.records)} records)")
 
     for fail in failures:
         print(f"FAIL: {fail}")
     if failures:
         return 1
     print(f"OK: numpy backend >= {MIN_NUMPY_SPEEDUP:.0f}x faster than the "
-          f"interpreter and all backends agree within {TOLERANCE:g}")
+          f"interpreter and every backend validates against the oracle")
     return 0
 
 

@@ -8,12 +8,16 @@ a regression that silently disables the cache fails loudly.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_service_cache.py
+    python benchmarks/bench_service_cache.py
 """
 
 import sys
 import tempfile
 import time
+
+from _bootstrap import ensure_repro_importable
+
+ensure_repro_importable()
 
 WORKLOADS = ["potrf:4", "potrf:12", "trtri:8", "trsyl:4", "gpr:8"]
 

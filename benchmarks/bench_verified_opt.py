@@ -15,7 +15,7 @@ that the verified tier actually pays for its verification cost:
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_verified_opt.py
+    python benchmarks/bench_verified_opt.py
         [--specs S ...] [--budget N] [--repeats N] [--output FILE]
 
 The text table lands in ``results/verified_opt.txt`` when run from the
@@ -27,6 +27,10 @@ import os
 import statistics
 import sys
 import tempfile
+
+from _bootstrap import ensure_repro_importable
+
+ensure_repro_importable()
 
 DEFAULT_SPECS = ["potrf:8", "kf:4x4", "trlya:4"]
 

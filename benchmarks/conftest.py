@@ -7,17 +7,12 @@ pytest-benchmark timing of the generator itself.
 """
 
 import os
-import sys
 
-_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_SRC = os.path.join(_ROOT, "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _bootstrap import ensure_repro_importable
 
-import pytest  # noqa: E402
+import pytest
 
-
-RESULTS_DIR = os.path.join(_ROOT, "results")
+RESULTS_DIR = os.path.join(ensure_repro_importable(), "results")
 
 
 @pytest.fixture(scope="session")

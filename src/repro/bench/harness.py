@@ -128,12 +128,13 @@ def measure_kernel_seconds(generated, case: BenchmarkCase,
     ``kernel`` (an already-built executor kernel) skips the build, letting
     callers time and validate with one artifact.
     """
-    import statistics
+    from ..timing import median_and_mad
 
     if kernel is None:
         kernel = generated.kernel(executor)
     samples = kernel.time(case.make_inputs(seed=17), repeats=repeats)
-    return statistics.median(samples)
+    median, _ = median_and_mad(samples)
+    return median
 
 
 def empirical_flops_per_cycle(seconds: float, flops: float,

@@ -104,3 +104,8 @@ class FuzzError(ReproError):
 class CegisError(ReproError):
     """Raised by the verified-optimization tier (unknown rewrite ids,
     mismatched verification targets, unusable fix-bank roots)."""
+
+
+class PerfError(ReproError):
+    """Raised by the continuous-performance subsystem (malformed
+    manifests, unusable trajectory files, structurally invalid runs)."""

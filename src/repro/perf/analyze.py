@@ -1,0 +1,342 @@
+"""Trajectory analysis: per-entry baselines, the regression gate, trends.
+
+The gate answers one question per manifest entry: *is the candidate run
+slower than the trajectory says this entry runs on comparable hosts?*
+Three design rules keep the answer honest:
+
+1. **Baselines are per-entry and environment-filtered.**  A candidate
+   record is only compared against prior records of the *same entry id*
+   whose environment fingerprint is compatible
+   (:func:`~repro.perf.environment.compatibility_issues`); incomparable
+   history (other machines, migrated seed records) is surfaced as
+   ``no-baseline``, never scored.
+2. **Thresholds are noise-aware.**  The slowdown that trips the gate is
+   ``1 + max(min_rel, noise_mult * rel_spread)`` where ``rel_spread`` is
+   the larger of the baseline's run-to-run MAD and the candidate's own
+   within-run MAD, relative to the baseline median: an entry that
+   historically wobbles 10% needs proportionally more slowdown to fail
+   than one that repeats to 1%.
+3. **Structural failures are never warnings.**  An empty candidate,
+   schema drift, or mixed-run input fails the gate regardless of
+   ``--warn-timing`` -- that flag only downgrades *timing* regressions
+   (shared CI runners lie about speed, not about shape).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PerfError
+from .environment import compatibility_issues
+from .trajectory import TRAJECTORY_SCHEMA_VERSION, record_is_valid
+
+#: Version of the ``gate --json`` / ``report --json`` documents; bump on
+#: any incompatible shape change.
+REPORT_SCHEMA_VERSION = 1
+
+#: Minimum relative slowdown that can ever trip the gate (25%: wall-clock
+#: medians on busy machines routinely wobble by double digits).
+DEFAULT_MIN_REL = 0.25
+
+#: How many spreads of noise the threshold widens by.
+DEFAULT_NOISE_MULT = 6.0
+
+#: Decision statuses, in severity order.
+STATUSES = ("regression", "ok", "improvement", "no-baseline", "not-run")
+
+
+@dataclass
+class GateDecision:
+    """The gate's verdict on one manifest entry."""
+
+    entry: str
+    status: str                         # one of STATUSES
+    candidate_median: Optional[float] = None
+    baseline_median: Optional[float] = None
+    ratio: Optional[float] = None       # candidate / baseline
+    threshold: Optional[float] = None   # ratio that would trip the gate
+    baseline_runs: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "entry": self.entry,
+            "status": self.status,
+            "candidate_median": self.candidate_median,
+            "baseline_median": self.baseline_median,
+            "ratio": self.ratio,
+            "threshold": self.threshold,
+            "baseline_runs": self.baseline_runs,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class GateReport:
+    """Every decision of one gate evaluation, plus run identity."""
+
+    suite: str
+    candidate_run: str
+    candidate_commit: str
+    decisions: List[GateDecision] = field(default_factory=list)
+    structural_errors: List[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        tally = {status: 0 for status in STATUSES}
+        for decision in self.decisions:
+            tally[decision.status] += 1
+        return tally
+
+    def regressions(self) -> List[GateDecision]:
+        return [d for d in self.decisions if d.status == "regression"]
+
+    def exit_code(self, warn_timing: bool = False) -> int:
+        """0 = pass.  Structural errors always fail; timing regressions
+        fail unless downgraded to warnings."""
+        if self.structural_errors:
+            return 1
+        if self.regressions() and not warn_timing:
+            return 1
+        return 0
+
+    def to_json(self, warn_timing: bool = False) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "suite": self.suite,
+            "candidate_run": self.candidate_run,
+            "candidate_commit": self.candidate_commit,
+            "counts": self.counts,
+            "structural_errors": list(self.structural_errors),
+            "decisions": [d.to_json() for d in self.decisions],
+            "warn_timing": bool(warn_timing),
+            "exit_code": self.exit_code(warn_timing),
+        }
+
+    def format_table(self) -> str:
+        lines = [f"[perf gate:{self.suite}]  candidate "
+                 f"{self.candidate_run} @ {self.candidate_commit}"]
+        for error in self.structural_errors:
+            lines.append(f"  STRUCTURAL: {error}")
+        width = max([len(d.entry) for d in self.decisions] + [5])
+        for decision in self.decisions:
+            if decision.ratio is not None:
+                detail = (f"x{decision.ratio:.3f} vs baseline of "
+                          f"{decision.baseline_runs} run(s), trips at "
+                          f"x{decision.threshold:.3f}")
+            else:
+                detail = "; ".join(decision.notes) or "-"
+            lines.append(f"  {decision.entry:{width}s}  "
+                         f"{decision.status:12s} {detail}")
+        tally = self.counts
+        lines.append("  " + ", ".join(f"{tally[s]} {s}" for s in STATUSES
+                                      if tally[s]))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baseline statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BaselineStats:
+    """The trajectory's view of one entry on hosts compatible with ``env``."""
+
+    entry: str
+    runs: int                           # compatible prior records
+    incompatible: int                   # records refused on environment
+    median: Optional[float] = None      # median of the run medians
+    spread: Optional[float] = None      # MAD of the run medians
+
+    def to_json(self) -> Dict[str, object]:
+        return {"entry": self.entry, "runs": self.runs,
+                "incompatible": self.incompatible,
+                "median": self.median, "spread": self.spread}
+
+
+def baseline_for(entry_id: str, history: Sequence[Dict[str, object]],
+                 env: Dict[str, object],
+                 exclude_run: Optional[str] = None) -> BaselineStats:
+    """Baseline statistics for one entry: valid records of the same entry
+    id, environment-compatible with ``env``, not from ``exclude_run``."""
+    compatible: List[float] = []
+    incompatible = 0
+    for record in history:
+        if record.get("entry") != entry_id or not record_is_valid(record):
+            continue
+        if exclude_run is not None and record.get("run_id") == exclude_run:
+            continue
+        if compatibility_issues(env, record.get("env") or {}):
+            incompatible += 1
+            continue
+        compatible.append(float(record["median_seconds"]))
+    stats = BaselineStats(entry=entry_id, runs=len(compatible),
+                          incompatible=incompatible)
+    if compatible:
+        stats.median = statistics.median(compatible)
+        stats.spread = statistics.median(
+            abs(m - stats.median) for m in compatible)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+
+def _structural_check(candidate: Sequence[Dict[str, object]]) -> List[str]:
+    """Schema assertions on the candidate run (hard failures)."""
+    errors: List[str] = []
+    if not candidate:
+        return ["candidate run has no records"]
+    run_ids = set()
+    for idx, record in enumerate(candidate):
+        if not record_is_valid(record):
+            errors.append(f"record {idx} is structurally invalid "
+                          f"(schema {TRAJECTORY_SCHEMA_VERSION} required)")
+            continue
+        run_ids.add(record["run_id"])
+    if len(run_ids) > 1:
+        errors.append(f"candidate mixes records of {len(run_ids)} runs: "
+                      f"{', '.join(sorted(str(r) for r in run_ids))}")
+    return errors
+
+
+def gate_records(candidate: Sequence[Dict[str, object]],
+                 history: Sequence[Dict[str, object]],
+                 suite_entries: Optional[Sequence[str]] = None,
+                 min_rel: float = DEFAULT_MIN_REL,
+                 noise_mult: float = DEFAULT_NOISE_MULT) -> GateReport:
+    """Judge one candidate run against the trajectory.
+
+    ``candidate`` is the record list of exactly one run; ``history`` is
+    the full trajectory (the candidate's own records are excluded from
+    baselines by run id, so passing a trajectory that already contains
+    the candidate is fine).  ``suite_entries`` (a manifest's entry ids)
+    additionally reports entries the candidate did not cover as
+    ``not-run`` -- informational, since a host may legitimately lack a
+    backend.
+    """
+    if min_rel < 0 or noise_mult < 0:
+        raise PerfError("gate thresholds must be non-negative")
+    errors = _structural_check(candidate)
+    valid = [r for r in candidate if record_is_valid(r)]
+    if valid:
+        run_id = str(valid[0]["run_id"])
+        commit = str(valid[0]["commit"])
+        env = valid[0].get("env") or {}
+    else:
+        run_id, commit, env = "?", "?", {}
+    report = GateReport(suite=str(valid[0]["suite"]) if valid else "?",
+                        candidate_run=run_id, candidate_commit=commit,
+                        structural_errors=errors)
+    covered = set()
+    for record in valid:
+        entry_id = str(record["entry"])
+        covered.add(entry_id)
+        baseline = baseline_for(entry_id, history, env, exclude_run=run_id)
+        decision = GateDecision(
+            entry=entry_id, status="no-baseline",
+            candidate_median=float(record["median_seconds"]),
+            baseline_runs=baseline.runs)
+        if baseline.median is None or baseline.median <= 0.0:
+            if baseline.incompatible:
+                decision.notes.append(
+                    f"{baseline.incompatible} prior record(s) refused: "
+                    f"incompatible environment")
+            else:
+                decision.notes.append("no prior records for this entry")
+            report.decisions.append(decision)
+            continue
+        candidate_mad = record.get("mad_seconds") or 0.0
+        rel_spread = max(baseline.spread or 0.0,
+                         float(candidate_mad)) / baseline.median
+        threshold = 1.0 + max(min_rel, noise_mult * rel_spread)
+        ratio = decision.candidate_median / baseline.median
+        decision.baseline_median = baseline.median
+        decision.ratio = ratio
+        decision.threshold = threshold
+        if ratio > threshold:
+            decision.status = "regression"
+            decision.notes.append(
+                f"median {decision.candidate_median * 1e6:.2f}us vs "
+                f"baseline {baseline.median * 1e6:.2f}us")
+        elif ratio < 1.0 / threshold:
+            decision.status = "improvement"
+        else:
+            decision.status = "ok"
+        report.decisions.append(decision)
+    for entry_id in suite_entries or ():
+        if entry_id not in covered:
+            report.decisions.append(GateDecision(
+                entry=entry_id, status="not-run",
+                notes=["entry not covered by the candidate run"]))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Trend report
+# ---------------------------------------------------------------------------
+
+
+def trend_report(history: Sequence[Dict[str, object]],
+                 entries: Optional[Sequence[str]] = None
+                 ) -> Dict[str, object]:
+    """Per-entry trajectory trends, deterministic for a fixed history.
+
+    For every entry (or the requested subset): the chronological series
+    of ``(run_id, commit, median_seconds)``, the first/latest/best
+    medians, and the latest-vs-first ratio.  Record order in the
+    trajectory file is append order, which is chronological by
+    construction.
+    """
+    series: Dict[str, List[Dict[str, object]]] = {}
+    for record in history:
+        if not record_is_valid(record):
+            continue
+        entry_id = str(record["entry"])
+        if entries is not None and entry_id not in entries:
+            continue
+        series.setdefault(entry_id, []).append({
+            "run_id": record["run_id"],
+            "commit": record["commit"],
+            "median_seconds": float(record["median_seconds"]),
+            "env_known": not compatibility_issues(
+                record.get("env") or {}, record.get("env") or {}),
+        })
+    report_entries = []
+    for entry_id in sorted(series):
+        points = series[entry_id]
+        medians = [p["median_seconds"] for p in points]
+        report_entries.append({
+            "entry": entry_id,
+            "runs": len(points),
+            "first_median": medians[0],
+            "latest_median": medians[-1],
+            "best_median": min(medians),
+            "latest_vs_first": (medians[-1] / medians[0]
+                                if medians[0] > 0 else None),
+            "points": points,
+        })
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "entries": report_entries,
+    }
+
+
+def render_report(doc: Dict[str, object]) -> str:
+    """The human-readable table of a :func:`trend_report` document."""
+    lines = [f"{'entry':34s} {'runs':>4s} {'first us':>10s} "
+             f"{'latest us':>10s} {'best us':>10s} {'trend':>8s}"]
+    for entry in doc["entries"]:
+        trend = entry["latest_vs_first"]
+        lines.append(
+            f"{entry['entry']:34s} {entry['runs']:4d} "
+            f"{entry['first_median'] * 1e6:10.2f} "
+            f"{entry['latest_median'] * 1e6:10.2f} "
+            f"{entry['best_median'] * 1e6:10.2f} "
+            f"{('x%.3f' % trend) if trend is not None else '-':>8s}")
+    return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""Execute a benchmark manifest and emit trajectory records.
+
+The runner owns no timing or generation machinery of its own: every
+entry resolves through the existing stack -- the workload registry names
+the case, a :class:`~repro.service.service.KernelService` generates (or
+cache-hits) the kernel with the entry's mode applied (``tuned`` routes
+through the TuningDB, ``verified`` through the CEGIS fix bank, exactly
+like ``--tuned``/``--verified`` service requests), the executor comes
+from :meth:`ServiceResponse.kernel`, and the samples from the shared
+:func:`~repro.timing.batched_time` protocol.  What the runner adds is
+the *record*: a schema-versioned, environment-fingerprinted summary
+(robust median + MAD seconds per call) keyed by commit + manifest entry,
+ready for the append-only trajectory.
+
+Entries whose backend cannot run here (``compiled`` with no C compiler)
+are *skipped with a reason*, not failed and not silently omitted: a
+partial run states exactly which cells of the matrix it covered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PerfError, ReproError
+from ..timing import median_and_mad
+from .environment import environment_fingerprint
+from .manifest import Manifest, ManifestEntry
+from .trajectory import TRAJECTORY_SCHEMA_VERSION
+
+#: Alias: records are stamped with the trajectory schema (one schema for
+#: producer and store -- bump in ``trajectory.py``).
+RECORD_SCHEMA_VERSION = TRAJECTORY_SCHEMA_VERSION
+
+#: Seed of the timing inputs: the same one the bench harness and figure
+#: scripts use, so timings here and there measure identical operand data.
+INPUT_SEED = 17
+
+
+def current_commit(cwd: Optional[str] = None) -> str:
+    """The working tree's commit (short hash, ``-dirty`` suffixed), or
+    ``"unknown"`` outside a git checkout."""
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"], cwd=cwd,
+            capture_output=True, text=True, timeout=10)
+        if head.returncode != 0:
+            return "unknown"
+        commit = head.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=cwd, capture_output=True, text=True, timeout=10)
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            commit += "-dirty"
+        return commit
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@dataclass
+class SkippedEntry:
+    """One manifest cell this host could not measure, and why."""
+
+    entry: str
+    reason: str
+
+
+@dataclass
+class BenchRun:
+    """The outcome of one manifest execution."""
+
+    run_id: str
+    suite: str
+    commit: str
+    started_at: float
+    env: Dict[str, object]
+    records: List[Dict[str, object]] = field(default_factory=list)
+    skipped: List[SkippedEntry] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        """The stable ``run --json`` document (see docs/benchmarks.md)."""
+        return {
+            "schema": RECORD_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "suite": self.suite,
+            "commit": self.commit,
+            "started_at": self.started_at,
+            "env": self.env,
+            "records": self.records,
+            "skipped": [{"entry": s.entry, "reason": s.reason}
+                        for s in self.skipped],
+        }
+
+    def format_table(self) -> str:
+        """Aligned text summary of the run (for humans; records are the
+        machine surface)."""
+        lines = [f"[perf:{self.suite}]  run {self.run_id} "
+                 f"@ {self.commit}",
+                 f"{'entry':34s} {'median us/call':>15s} "
+                 f"{'mad us':>9s} {'ok':>3s}"]
+        for record in self.records:
+            mad = record.get("mad_seconds")
+            correct = record.get("correct")
+            lines.append(
+                f"{record['entry']:34s} "
+                f"{record['median_seconds'] * 1e6:15.2f} "
+                f"{(mad or 0.0) * 1e6:9.2f} "
+                f"{'-' if correct is None else ('y' if correct else 'N'):>3s}")
+        for skip in self.skipped:
+            lines.append(f"{skip.entry:34s} {'skipped':>15s}   "
+                         f"({skip.reason})")
+        return "\n".join(lines)
+
+
+def _make_run_id(commit: str, suite: str, started_at: float,
+                 env: Dict[str, object]) -> str:
+    blob = json.dumps({"commit": commit, "suite": suite,
+                       "started_at": started_at, "env": env},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+class _ModeServices:
+    """One :class:`KernelService` per generation mode, sharing a store.
+
+    A service with a TuningDB attached applies tuned options to *every*
+    request, so the untuned axis needs its own service instance; the
+    tuned/verified databases are only opened when an entry asks for them.
+    """
+
+    def __init__(self, store=None, machine=None):
+        from ..service.service import KernelService
+        from ..service.store import MemoryKernelStore
+        self._store = store if store is not None else MemoryKernelStore()
+        self._machine = machine
+        self._kernel_service = KernelService
+        self._services: Dict[str, object] = {}
+
+    def for_mode(self, mode: str):
+        service = self._services.get(mode)
+        if service is not None:
+            return service
+        kwargs: Dict[str, object] = {}
+        if mode == "tuned":
+            from ..tuning.db import TuningDB
+            kwargs["tuning_db"] = TuningDB()
+        elif mode == "verified":
+            from ..cegis.fixbank import FixBank
+            kwargs["fix_bank"] = FixBank()
+        elif mode != "untuned":
+            raise PerfError(f"unknown generation mode {mode!r}")
+        service = self._kernel_service(store=self._store,
+                                       machine=self._machine, **kwargs)
+        self._services[mode] = service
+        return service
+
+
+def _measure_entry(entry: ManifestEntry, services: _ModeServices,
+                   repeats: Optional[int], validate: bool
+                   ) -> Dict[str, object]:
+    """Time one manifest cell; returns the record *body* (run identity
+    fields are stamped by :func:`run_manifest`)."""
+    from ..bench.harness import check_case
+    from ..service.registry import build_case, make_request, parse_spec
+
+    spec = parse_spec(entry.kernel)
+    case = build_case(spec)
+    service = services.for_mode(entry.mode)
+    response = service.generate(make_request(spec))
+    kernel = response.kernel(entry.backend)
+    n_repeats = repeats if repeats is not None else entry.repeats
+    samples = kernel.time(case.make_inputs(seed=INPUT_SEED),
+                          repeats=n_repeats)
+    median, mad = median_and_mad(samples)
+    correct = check_case(case, response.result, kernel=kernel) \
+        if validate else None
+    applied = {"untuned": True, "tuned": response.tuned,
+               "verified": response.verified}[entry.mode]
+    return {
+        "entry": entry.entry_id,
+        "kernel": entry.kernel,
+        "size": spec.size,
+        "backend": entry.backend,
+        "mode": entry.mode,
+        "applied": applied,
+        "repeats": n_repeats,
+        "median_seconds": median,
+        "mad_seconds": mad,
+        "flops": case.nominal_flops,
+        "correct": correct,
+    }
+
+
+def run_manifest(manifest: Manifest, *, repeats: Optional[int] = None,
+                 validate: bool = False, store=None, machine=None,
+                 commit: Optional[str] = None,
+                 env: Optional[Dict[str, object]] = None,
+                 timestamp: Optional[float] = None) -> BenchRun:
+    """Execute every runnable entry of ``manifest`` and collect records.
+
+    ``repeats`` overrides every entry's repeat policy (CI uses a lower
+    one).  ``validate`` additionally runs each kernel against its case
+    oracle and stamps ``correct`` into the record.  ``store`` /
+    ``machine`` / ``commit`` / ``env`` / ``timestamp`` exist for tests
+    and for callers that already know their identity; they default to a
+    private in-memory store, the default machine model, the git working
+    tree, the live host fingerprint, and now.
+
+    A backend that cannot run on this host skips its entries with a
+    reason; any *measurement* failure on a runnable backend is a real
+    error and propagates.
+    """
+    from ..backend import compiler_available
+
+    env = env if env is not None else environment_fingerprint()
+    commit = commit if commit is not None else current_commit()
+    started_at = timestamp if timestamp is not None else time.time()
+    run = BenchRun(
+        run_id=_make_run_id(commit, manifest.name, started_at, env),
+        suite=manifest.name, commit=commit, started_at=started_at, env=env)
+    services = _ModeServices(store=store, machine=machine)
+    has_compiler = compiler_available()
+    for entry in manifest.entries:
+        if entry.backend == "compiled" and not has_compiler:
+            run.skipped.append(SkippedEntry(
+                entry=entry.entry_id, reason="no C compiler available"))
+            continue
+        try:
+            body = _measure_entry(entry, services, repeats, validate)
+        except ReproError as exc:
+            raise PerfError(
+                f"entry {entry.entry_id!r} failed to measure: {exc}")
+        record: Dict[str, object] = {
+            "schema": RECORD_SCHEMA_VERSION,
+            "run_id": run.run_id,
+            "commit": commit,
+            "ts": started_at,
+            "suite": manifest.name,
+            "env": env,
+        }
+        record.update(body)
+        run.records.append(record)
+    return run

@@ -15,8 +15,24 @@ and :mod:`repro.backend` can share it without layering inversions.
 
 from __future__ import annotations
 
+import statistics
 import time
-from typing import Callable, List
+from typing import Callable, List, Tuple
+
+
+def median_and_mad(samples: List[float]) -> Tuple[float, float]:
+    """Median and median-absolute-deviation of timing samples.
+
+    The summary every consumer of :func:`batched_time` reports (the
+    bench harness, the perf runner's trajectory records): the median is
+    robust to scheduler noise and the MAD is the matching robust spread
+    -- the regression gate widens its threshold by it, so a noisy entry
+    needs a proportionally larger slowdown to trip."""
+    if not samples:
+        raise ValueError("no timing samples")
+    center = statistics.median(samples)
+    spread = statistics.median(abs(s - center) for s in samples)
+    return center, spread
 
 
 def batched_time(invoke: Callable[[], None], restore: Callable[[], None],

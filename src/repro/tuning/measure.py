@@ -73,12 +73,13 @@ def robust_score(samples: List[float],
     rejected.  With fewer than three samples, or when every sample is
     identical, nothing is rejected.
     """
+    from ..timing import median_and_mad
+
     if not samples:
         raise MeasurementError("no timing samples collected")
     if len(samples) < 3:
         return statistics.median(samples), 0
-    center = statistics.median(samples)
-    mad = statistics.median(abs(s - center) for s in samples)
+    center, mad = median_and_mad(samples)
     if mad == 0.0:
         return center, 0
     kept = [s for s in samples if abs(s - center) <= mad_threshold * mad]
