@@ -12,7 +12,7 @@ Shows the intermediate artifacts of the pipeline for `U^T U = S`:
 
 import numpy as np
 
-from repro import Options, SLinGen
+from repro.api import Options, SLinGen
 from repro.applications import potrf_case
 from repro.backend import compiler_available
 from repro.slingen import find_hlac_sites, synthesize_basic_program

@@ -8,7 +8,7 @@ prints the comparison against the numpy/scipy reference.
 
 import numpy as np
 
-from repro import Options, SLinGen
+from repro.api import Options, SLinGen
 from repro.applications import gpr_case
 from repro.kernels import gaussian_process_regression
 

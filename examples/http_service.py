@@ -20,8 +20,8 @@ see docs/serving.md for the full API and curl examples.
 import tempfile
 from concurrent import futures
 
-from repro.service import (DiskKernelStore, KernelServer, KernelService,
-                           ServiceClient)
+from repro.api import DiskKernelStore, KernelService
+from repro.service import KernelServer, ServiceClient
 
 
 def main() -> None:

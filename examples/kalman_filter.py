@@ -10,7 +10,7 @@ in Fig. 15a of the paper.
 
 import numpy as np
 
-from repro import Options, SLinGen
+from repro.api import Options, SLinGen
 from repro.applications import kf_case
 from repro.baselines import evaluate_baseline
 from repro.kernels import kalman_filter_step

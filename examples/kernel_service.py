@@ -15,8 +15,9 @@ Run with::
 import tempfile
 import time
 
-from repro.service import (DiskKernelStore, GenerationRequest, KernelService,
-                           make_request, sweep_requests)
+from repro.api import (DiskKernelStore, GenerationRequest,
+                       KernelService, make_request)
+from repro.service import sweep_requests
 
 
 def main() -> None:

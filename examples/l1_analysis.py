@@ -9,7 +9,7 @@ against the library-based baselines (Fig. 15d).
 
 import numpy as np
 
-from repro import Options, SLinGen
+from repro.api import Options, SLinGen
 from repro.applications import l1a_case
 from repro.baselines import evaluate_baseline
 from repro.kernels import l1_analysis_step

@@ -11,8 +11,7 @@ results against numpy.
 
 import numpy as np
 
-from repro import Options, SLinGen
-from repro.la import parse_program
+from repro.api import Options, SLinGen, parse_program
 
 SOURCE = """
 Mat H(k, n) <In>;

@@ -1,0 +1,63 @@
+"""The stable public API of the repro package.
+
+Everything an application needs lives behind this one module, so user
+code (and ``examples/``, and the README) never imports submodule paths
+that are free to move between releases::
+
+    from repro.api import Options, generate, make_executor, parse_program
+
+    program = parse_program(source, constants={"n": 8})
+    code = generate(program, Options(vectorize=True))
+    kernel = make_executor(code.function, c_code=code.c_code)
+    outputs = kernel.run(inputs)
+
+Three layers, smallest first:
+
+* **One-shot generation** -- :func:`generate` (or :class:`SLinGen` for a
+  reusable generator with an explicit store/phase cache), with
+  :class:`Options` as the single knob surface and
+  :class:`GeneratedCode`/:class:`GenerationResult` as the outputs.
+* **Execution** -- :func:`make_executor` turns a generated function into
+  a runnable kernel on any available backend (C-IR interpreter, NumPy,
+  compiled C when a compiler resolves).
+* **Serving** -- :class:`KernelService` with a
+  :class:`DiskKernelStore`/:class:`MemoryKernelStore` answers repeated
+  requests cache-first; :func:`make_request` and
+  :class:`GenerationRequest` address the registry workloads.
+
+The staged pipeline underneath (:mod:`repro.pipeline`) is re-exported
+via :class:`PhaseCache`/:func:`shared_phase_cache` for callers that
+manage artifact reuse explicitly; by default every entry point above
+already shares one process-wide cache.
+"""
+
+from __future__ import annotations
+
+from .backend import make_executor
+from .errors import ReproError
+from .la import parse_program
+from .pipeline.cache import PhaseCache, shared_phase_cache
+from .service.registry import make_request
+from .service.service import GenerationRequest, KernelService
+from .service.store import DiskKernelStore, MemoryKernelStore
+from .slingen.generator import (GeneratedCode, GenerationResult, SLinGen,
+                                generate)
+from .slingen.options import Options
+
+__all__ = [
+    "DiskKernelStore",
+    "GeneratedCode",
+    "GenerationRequest",
+    "GenerationResult",
+    "KernelService",
+    "MemoryKernelStore",
+    "Options",
+    "PhaseCache",
+    "ReproError",
+    "SLinGen",
+    "generate",
+    "make_executor",
+    "make_request",
+    "parse_program",
+    "shared_phase_cache",
+]

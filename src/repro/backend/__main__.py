@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..cli import EXIT_FAILURE, EXIT_OK, add_json_flag, fail, print_json
 from ..errors import ReproError
 from ..slingen.generator import SLinGen
 from ..slingen.options import Options
@@ -67,12 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cross.add_argument("--seeds", type=int, default=1, metavar="N",
                        help="number of input draws per workload, seeds "
                             "seed..seed+N-1 (default 1)")
+    add_json_flag(cross)
 
     emit = sub.add_parser("emit", help="print a generated artifact")
     emit.add_argument("spec", metavar="SPEC")
     emit.add_argument("--format", default="numpy",
                       choices=("c", "numpy", "numpy-vectorized"))
     emit.add_argument("--scalar", action="store_true")
+    add_json_flag(emit, help="wrap the artifact in a JSON document "
+                             "instead of printing it raw")
     return parser
 
 
@@ -110,6 +114,7 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
     backends = _resolve_backends(args.backends)
     seeds = range(args.seed, args.seed + args.seeds)
     failures = 0
+    docs = []
     for text in args.specs:
         case, result = _generate(text, args.scalar)
         kernels = {
@@ -134,30 +139,45 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
         agreed = worst <= args.tol
         if not agreed:
             failures += 1
+        if args.as_json:
+            docs.append({"spec": text, "backends": backends,
+                         "max_deviation": worst,
+                         "worst_pair": worst_pair or None,
+                         "worst_seed": worst_seed, "ok": agreed})
+            continue
         seed_note = f" seed {worst_seed}" if args.seeds > 1 else ""
         print(f"{text:12s} {'/'.join(backends):32s} "
               f"max |delta| {worst:.3e}"
               f"{'  (' + worst_pair + seed_note + ')' if worst_pair else '':28s} "
               f"{'ok' if agreed else 'DISAGREE'}")
+    if args.as_json:
+        print_json({"workloads": docs, "tol": args.tol,
+                    "seeds": args.seeds, "failures": failures})
+        return EXIT_FAILURE if failures else EXIT_OK
     if failures:
         print(f"{failures} of {len(args.specs)} workloads disagree beyond "
               f"{args.tol:g}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     print(f"all {len(args.specs)} workloads agree across "
           f"{len(backends)} backends and {args.seeds} input seed(s) "
           f"within {args.tol:g}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_emit(args: argparse.Namespace) -> int:
     _, result = _generate(args.spec, args.scalar)
     if args.format == "c":
-        print(result.c_code, end="")
+        artifact = result.c_code
     else:
         mode = "vectorized" if args.format == "numpy-vectorized" \
             else "unrolled"
-        print(translate_function(result.function, mode=mode), end="")
-    return 0
+        artifact = translate_function(result.function, mode=mode)
+    if args.as_json:
+        print_json({"spec": args.spec, "format": args.format,
+                    "code": artifact})
+    else:
+        print(artifact, end="")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,9 +188,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "emit":
             return _cmd_emit(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0  # pragma: no cover - argparse enforces a command
+        return fail(exc)
+    return EXIT_OK  # pragma: no cover - argparse enforces a command
 
 
 if __name__ == "__main__":

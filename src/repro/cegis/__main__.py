@@ -5,14 +5,15 @@ Usage (``PYTHONPATH=src python -m repro.cegis <command>``)::
     optimize SPEC ... [--budget N] [--seed N] [--backends B] [--scalar]
                       [--json]     # run the CEGIS loop and bank the result
     report   [SPEC ...] [--json]   # show fix records (all, or for specs)
-    replay   SPEC ...              # re-check every banked counterexample
+    replay   SPEC ... [--json]     # re-check every banked counterexample
                                    # still refutes its rewrite
-    purge    [--yes]               # drop every fix record
+    purge    [--yes] [--json]      # drop every fix record
 
 A SPEC is ``name:size`` (``potrf:8``) or ``name:sizexk`` (``kf:8x4``) --
 the same workload addresses the kernel service and tuner use.  The bank
 root defaults to ``~/.cache/repro-slingen/fixbank`` and can be moved
-with ``--bank`` or the ``REPRO_FIXBANK`` environment variable.
+with ``--db`` (historical alias ``--bank``) or the ``REPRO_FIXBANK``
+environment variable.
 
 ``optimize --json`` emits one stable document per run (see
 :data:`REPORT_SCHEMA_VERSION`); CI asserts accepted/refuted counts
@@ -26,10 +27,11 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import sys
 from typing import List, Optional
 
+from ..cli import (EXIT_FAILURE, EXIT_OK, add_json_flag, confirm, fail,
+                   print_json)
 from ..errors import ReproError
 from ..slingen.options import Options
 from .fixbank import FixBank, default_fixbank_dir, fixbank_key
@@ -43,7 +45,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.cegis",
         description="Verify unsound rewrites per workload and manage the "
                     "fix bank.")
-    parser.add_argument("--bank", default=None, metavar="DIR",
+    parser.add_argument("--db", "--bank", dest="bank", default=None,
+                        metavar="DIR",
                         help=f"fix-bank root "
                              f"(default: {default_fixbank_dir()})")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -60,27 +63,27 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="comma-separated backend list or 'auto'")
     optimize.add_argument("--scalar", action="store_true",
                           help="verify scalar (non-vectorized) generation")
-    optimize.add_argument("--json", action="store_true", dest="as_json",
-                          help="emit a machine-readable summary (stable "
-                               "schema, see REPORT_SCHEMA_VERSION)")
+    add_json_flag(optimize, help="emit a machine-readable summary (stable "
+                                 "schema, see REPORT_SCHEMA_VERSION)")
 
     report = sub.add_parser("report", help="show fix records")
     report.add_argument("specs", nargs="*", metavar="SPEC",
                         help="workloads to report (default: every record)")
     report.add_argument("--scalar", action="store_true",
                         help="look up the scalar-verified records")
-    report.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit a machine-readable report")
+    add_json_flag(report, help="emit a machine-readable report")
 
     replay = sub.add_parser(
         "replay", help="re-run every banked counterexample against its "
                        "refuted rewrite")
     replay.add_argument("specs", nargs="+", metavar="SPEC")
     replay.add_argument("--scalar", action="store_true")
+    add_json_flag(replay)
 
     purge = sub.add_parser("purge", help="drop every fix record")
     purge.add_argument("--yes", action="store_true",
                        help="do not ask for confirmation")
+    add_json_flag(purge)
     return parser
 
 
@@ -136,15 +139,15 @@ def _cmd_optimize(bank: FixBank, args: argparse.Namespace) -> int:
         if not args.as_json:
             print(_record_line(outcome.to_record()))
     if args.as_json:
-        print(json.dumps({
+        print_json({
             "schema": REPORT_SCHEMA_VERSION,
             "bank_root": bank.root,
             "runs": runs,
-        }, indent=2, sort_keys=True))
+        })
     else:
         print(f"verified {len(args.specs)} workload(s) against "
               f"{len(known_ids())} candidate rewrite(s) into {bank.root}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(bank: FixBank, args: argparse.Namespace) -> int:
@@ -165,15 +168,15 @@ def _cmd_report(bank: FixBank, args: argparse.Namespace) -> int:
                  for record in sorted(bank.records(), key=lambda r: r.label)]
 
     if args.as_json:
-        print(json.dumps({
+        print_json({
             "schema": REPORT_SCHEMA_VERSION,
             "bank_root": bank.root,
             "requested": list(args.specs) or None,
             "missing": missing,
             "records": [_record_json(record, spec)
                         for spec, record in found],
-        }, indent=2, sort_keys=True))
-        return 1 if missing else 0
+        })
+        return EXIT_FAILURE if missing else EXIT_OK
 
     for text in missing:
         print(f"{text}: no fix record")
@@ -184,7 +187,7 @@ def _cmd_report(bank: FixBank, args: argparse.Namespace) -> int:
             print("fix bank is empty")
         else:
             print(f"{len(found)} record(s) in {bank.root}")
-    return 1 if missing else 0
+    return EXIT_FAILURE if missing else EXIT_OK
 
 
 def _cmd_replay(bank: FixBank, args: argparse.Namespace) -> int:
@@ -192,28 +195,47 @@ def _cmd_replay(bank: FixBank, args: argparse.Namespace) -> int:
 
     For each refuted rewrite with a recorded seed, re-run the verifier
     with *only* that seed (budget 0 fresh draws) and demand it still
-    refutes.  A counterexample that stopped refuting means the catalog
-    or the pipeline changed under the record."""
+    refutes.  The composition is reconstructed exactly as the loop
+    tried it: the loop walks the catalog in order with the accepted
+    set accumulated *so far*, so the prefix for a refuted rewrite is
+    the accepted ids that precede it in catalog order -- not the full
+    final accepted set, under which a later rewrite may simply no
+    longer fire.  A counterexample that stopped refuting means the
+    catalog or the pipeline changed under the record."""
     from ..service.registry import build_case, parse_spec
     options = _base_options(args.scalar)
+    catalog_position = {rid: pos for pos, rid in enumerate(known_ids())}
     stale = 0
     checked = 0
+    results = []
+
+    def note(doc: dict, line: str) -> None:
+        results.append(doc)
+        if not args.as_json:
+            print(line)
+
     for text in args.specs:
         case = build_case(parse_spec(text))
         record = bank.get(fixbank_key(case.program,
                                       vectorize=not args.scalar))
         if record is None:
-            print(f"{text}: no fix record")
             stale += 1
+            note({"spec": text, "status": "no-record"},
+                 f"{text}: no fix record")
             continue
         known = set(known_ids())
         for entry in record.counterexamples():
             rewrite_id = str(entry["id"])
             if rewrite_id not in known:
-                print(f"{text}: {rewrite_id}: rewrite no longer in catalog")
                 stale += 1
+                note({"spec": text, "rewrite": rewrite_id,
+                      "status": "unknown-rewrite"},
+                     f"{text}: {rewrite_id}: rewrite no longer in catalog")
                 continue
-            prefix = tuple(rid for rid in record.accepted if rid in known)
+            prefix = tuple(
+                rid for rid in record.accepted
+                if rid in known
+                and catalog_position[rid] < catalog_position[rewrite_id])
             trial = dataclasses.replace(
                 options, verified_rewrites=prefix + (rewrite_id,))
             counterexample = find_counterexample(
@@ -221,25 +243,35 @@ def _cmd_replay(bank: FixBank, args: argparse.Namespace) -> int:
                 seeds=[int(entry["seed"])], budget=0)
             checked += 1
             if counterexample is None:
-                print(f"{text}: {rewrite_id}: seed {entry['seed']} no "
-                      f"longer refutes (stale record)")
                 stale += 1
+                note({"spec": text, "rewrite": rewrite_id,
+                      "seed": int(entry["seed"]), "status": "stale"},
+                     f"{text}: {rewrite_id}: seed {entry['seed']} no "
+                     f"longer refutes (stale record)")
             else:
-                print(f"{text}: {rewrite_id}: still refuted -- "
-                      f"{counterexample.describe()}")
-    print(f"replayed {checked} counterexample(s), {stale} stale")
-    return 1 if stale else 0
+                note({"spec": text, "rewrite": rewrite_id,
+                      "seed": int(entry["seed"]), "status": "refuted"},
+                     f"{text}: {rewrite_id}: still refuted -- "
+                     f"{counterexample.describe()}")
+    if args.as_json:
+        print_json({"schema": REPORT_SCHEMA_VERSION, "checked": checked,
+                    "stale": stale, "results": results})
+    else:
+        print(f"replayed {checked} counterexample(s), {stale} stale")
+    return EXIT_FAILURE if stale else EXIT_OK
 
 
 def _cmd_purge(bank: FixBank, args: argparse.Namespace) -> int:
-    if not args.yes:
-        reply = input(f"purge every fix record under {bank.root}? [y/N] ")
-        if reply.strip().lower() not in ("y", "yes"):
-            print("aborted")
-            return 1
+    if not confirm(f"purge every fix record under {bank.root}?",
+                   assume_yes=args.yes):
+        print("aborted")
+        return EXIT_FAILURE
     removed = bank.purge()
-    print(f"purged {removed} record(s)")
-    return 0
+    if args.as_json:
+        print_json({"purged": removed})
+    else:
+        print(f"purged {removed} record(s)")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -255,9 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "purge":
             return _cmd_purge(bank, args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0  # pragma: no cover - argparse enforces a command
+        return fail(exc)
+    return EXIT_OK  # pragma: no cover - argparse enforces a command
 
 
 if __name__ == "__main__":

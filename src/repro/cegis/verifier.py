@@ -107,7 +107,8 @@ def find_counterexample(program_a: Program, program_b: Program,
                         ref_tol: float = DEFAULT_REF_TOL,
                         backends: str = "auto",
                         seed: int = 0,
-                        options_b: Optional[Options] = None
+                        options_b: Optional[Options] = None,
+                        phase_cache: Optional[object] = None
                         ) -> Optional[Counterexample]:
     """Search for an input on which the two pipelines disagree.
 
@@ -116,6 +117,10 @@ def find_counterexample(program_a: Program, program_b: Program,
     test.  ``seeds`` are replayed first, then ``budget`` fresh draws
     ``seed, seed+1, ...``.  Returns the first :class:`Counterexample`,
     or ``None`` when the budget is exhausted without a refutation.
+    ``phase_cache`` (``None`` = the shared process-wide one) lets
+    repeated verifications of the same baseline reuse its Stage-1 and
+    lowering artifacts instead of regenerating them per refutation
+    attempt.
 
     Raises :class:`CegisError` when the *baseline* itself cannot be
     generated or executed -- a broken baseline refutes the verification
@@ -125,11 +130,13 @@ def find_counterexample(program_a: Program, program_b: Program,
     names = resolve_backends(backends)
 
     try:
-        result_a = SLinGen(options).generate_result(program_a)
+        result_a = SLinGen(options,
+                           phase_cache=phase_cache).generate_result(program_a)
     except ReproError as exc:
         raise CegisError(f"baseline generation failed: {exc}") from exc
     try:
-        result_b = SLinGen(options_b or options).generate_result(program_b)
+        result_b = SLinGen(options_b or options,
+                           phase_cache=phase_cache).generate_result(program_b)
     except Exception as exc:   # noqa: BLE001 - any crash refutes
         return Counterexample(seed=-1, stage="execute", detail="generate",
                               error_type=type(exc).__name__, error=str(exc))

@@ -23,6 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
+from ..cli import EXIT_FAILURE, EXIT_OK, add_json_flag, print_json
 from . import check_links, default_doc_paths, render_cli_reference
 
 DEFAULT_OUTPUT = os.path.join("docs", "cli.md")
@@ -43,6 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ref.add_argument("--check", action="store_true",
                      help="verify FILE matches the parsers instead of "
                           "writing; exit 1 when stale")
+    add_json_flag(ref)
 
     links = sub.add_parser("linkcheck",
                            help="verify relative links in Markdown files")
@@ -52,11 +54,13 @@ def _build_parser() -> argparse.ArgumentParser:
     links.add_argument("--root", default=".", metavar="DIR",
                        help="repository root links must stay inside "
                             "(default: current directory)")
+    add_json_flag(links)
     return parser
 
 
 def _cmd_cli_ref(args: argparse.Namespace) -> int:
     rendered = render_cli_reference()
+    lines = len(rendered.splitlines())
     if args.check:
         try:
             with open(args.output, "r", encoding="utf-8") as handle:
@@ -64,20 +68,26 @@ def _cmd_cli_ref(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"cli-ref: cannot read {args.output}: {exc}",
                   file=sys.stderr)
-            return 1
-        if committed != rendered:
+            return EXIT_FAILURE
+        current = committed == rendered
+        if args.as_json:
+            print_json({"output": args.output, "current": current,
+                        "lines": lines})
+            return EXIT_OK if current else EXIT_FAILURE
+        if not current:
             print(f"cli-ref: {args.output} is stale; regenerate with "
                   f"`python -m repro.docs cli-ref`", file=sys.stderr)
-            return 1
-        print(f"cli-ref: {args.output} is current "
-              f"({len(rendered.splitlines())} lines)")
-        return 0
+            return EXIT_FAILURE
+        print(f"cli-ref: {args.output} is current ({lines} lines)")
+        return EXIT_OK
     os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(rendered)
-    print(f"cli-ref: wrote {args.output} "
-          f"({len(rendered.splitlines())} lines)")
-    return 0
+    if args.as_json:
+        print_json({"output": args.output, "written": True, "lines": lines})
+    else:
+        print(f"cli-ref: wrote {args.output} ({lines} lines)")
+    return EXIT_OK
 
 
 def _cmd_linkcheck(args: argparse.Namespace) -> int:
@@ -85,15 +95,20 @@ def _cmd_linkcheck(args: argparse.Namespace) -> int:
     paths = args.paths or default_doc_paths(root)
     if not paths:
         print("linkcheck: no Markdown files found", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     broken = check_links(paths, repo_root=root)
+    if args.as_json:
+        print_json({"files": len(paths),
+                    "broken": [{"file": path, "target": target}
+                               for path, target in broken]})
+        return EXIT_FAILURE if broken else EXIT_OK
     for path, target in broken:
         print(f"linkcheck: {path}: broken relative link -> {target}",
               file=sys.stderr)
     if broken:
-        return 1
+        return EXIT_FAILURE
     print(f"linkcheck: {len(paths)} files ok")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:

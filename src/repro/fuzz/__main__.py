@@ -38,6 +38,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..cli import EXIT_FAILURE, EXIT_OK, add_json_flag, fail, print_json
 from ..errors import ReproError
 from . import corpus as corpus_mod
 from .generate import sample_case
@@ -114,12 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated backend list or 'auto'")
     replay.add_argument("--tol", type=float, default=DEFAULT_TOL)
     replay.add_argument("--ref-tol", type=float, default=DEFAULT_REF_TOL)
+    add_json_flag(replay)
 
     listing = sub.add_parser("corpus", help="list the committed corpus")
     listing.add_argument("--corpus", default=corpus_mod.DEFAULT_CORPUS_DIR,
                          metavar="DIR",
                          help="corpus directory "
                               f"(default: {corpus_mod.DEFAULT_CORPUS_DIR})")
+    add_json_flag(listing)
     return parser
 
 
@@ -225,9 +228,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     else:
         entries = corpus_mod.load_corpus(args.corpus)
     if not entries:
-        print("no corpus entries found")
-        return 0
+        if args.as_json:
+            print_json({"entries": [], "failures": 0})
+        else:
+            print("no corpus entries found")
+        return EXIT_OK
     failures = 0
+    docs = []
     for entry in entries:
         result = corpus_mod.replay_entry(entry, backends=args.backends,
                                          tol=args.tol, ref_tol=args.ref_tol)
@@ -238,28 +245,43 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             status = "ok" if passed else "FAIL"
         if not passed:
             failures += 1
+        if args.as_json:
+            docs.append({"id": entry.entry_id, "passed": passed,
+                         "status": status, "was": entry.found_status,
+                         "now": result.describe(), "note": entry.note})
+            continue
         note = f"  ({entry.note})" if entry.note else ""
         print(f"{entry.entry_id}  {status:7s} "
               f"was:{entry.found_status:10s} now:{result.describe()}{note}")
+    if args.as_json:
+        print_json({"entries": docs, "failures": failures})
+        return EXIT_FAILURE if failures else EXIT_OK
     if failures:
         print(f"{failures} of {len(entries)} corpus entries fail",
               file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     print(f"all {len(entries)} corpus entries replay ok")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
     entries = corpus_mod.load_corpus(args.corpus)
+    if args.as_json:
+        print_json({"entries": [
+            {"id": entry.entry_id, "was": entry.found_status,
+             "statements": len(entry.case.program.statements),
+             "note": entry.note}
+            for entry in entries]})
+        return EXIT_OK
     if not entries:
         print("no corpus entries found")
-        return 0
+        return EXIT_OK
     for entry in entries:
         statements = len(entry.case.program.statements)
         print(f"{entry.entry_id}  was:{entry.found_status:10s} "
               f"{statements} stmt(s)  {entry.note}")
     print(f"{len(entries)} entries")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -271,8 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_replay(args)
         return _cmd_corpus(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return fail(exc)
 
 
 if __name__ == "__main__":

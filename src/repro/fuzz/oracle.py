@@ -445,8 +445,15 @@ def max_deviation(a: Dict[str, np.ndarray],
 
 def run_case(case: FuzzCase, backends: str = "auto",
              tol: float = DEFAULT_TOL, reference: bool = True,
-             ref_tol: float = DEFAULT_REF_TOL) -> CaseResult:
-    """Run one fuzz case differentially and classify the outcome."""
+             ref_tol: float = DEFAULT_REF_TOL,
+             phase_cache: "object | None" = None) -> CaseResult:
+    """Run one fuzz case differentially and classify the outcome.
+
+    ``phase_cache`` (a :class:`~repro.pipeline.cache.PhaseCache`;
+    ``None`` = the shared process-wide one) memoizes pipeline artifacts
+    across cases, so campaigns that revisit the same program under
+    different codegen options skip Stage 1 after the first build.
+    """
     names = resolve_backends(backends)
 
     try:
@@ -459,7 +466,8 @@ def run_case(case: FuzzCase, backends: str = "auto",
                           error_type=type(exc).__name__, error=str(exc))
 
     try:
-        result = SLinGen(case.options).generate_result(program)
+        result = SLinGen(case.options,
+                         phase_cache=phase_cache).generate_result(program)
     except _REJECT_GENERATE as exc:
         return CaseResult(status="reject", stage="generate",
                           error_type=type(exc).__name__, error=str(exc))

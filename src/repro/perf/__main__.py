@@ -40,6 +40,8 @@ import json
 import sys
 from typing import List, Optional
 
+from ..cli import (EXIT_FAILURE, EXIT_OK, add_json_flag, fail,
+                   print_json)
 from ..errors import ReproError
 from .analyze import (DEFAULT_MIN_REL, DEFAULT_NOISE_MULT, gate_records,
                       render_report, trend_report)
@@ -86,9 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
     gate.add_argument("--candidate", default=None, metavar="FILE",
                       help="run document / record list to judge (default: "
                            "the trajectory's latest run)")
-    gate.add_argument("--json", action="store_true", dest="as_json",
-                      help="emit the machine-readable gate report "
-                           "(stable schema) instead of the table")
+    add_json_flag(gate, help="emit the machine-readable gate report "
+                             "(stable schema) instead of the table")
     gate.add_argument("--warn-timing", action="store_true",
                       help="downgrade timing regressions to warnings "
                            "(structural errors still fail)")
@@ -108,16 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="ID",
                         help="restrict to an entry id (repeatable); "
                              "default: every entry in the trajectory")
-    report.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit the machine-readable report "
-                             "(stable schema) instead of the table")
+    add_json_flag(report, help="emit the machine-readable report "
+                               "(stable schema) instead of the table")
 
     baseline = sub.add_parser("baseline",
                               help="the gate's baseline statistics for "
                                    "this host")
     add_matrix_args(baseline)
-    baseline.add_argument("--json", action="store_true", dest="as_json",
-                          help="emit machine-readable statistics")
+    add_json_flag(baseline, help="emit machine-readable statistics")
 
     migrate = sub.add_parser("migrate-seed",
                              help="append pre-trajectory BENCH_seed.json "
@@ -131,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--no-append", action="store_true",
                          help="print the migrated records instead of "
                               "appending them")
+    add_json_flag(migrate)
     return parser
 
 
@@ -155,8 +155,8 @@ def _cmd_run(store: TrajectoryStore, args: argparse.Namespace) -> int:
         wrong = [r["entry"] for r in run.records if r["correct"] is False]
         if wrong:
             print(f"FAIL: incorrect outputs from {', '.join(wrong)}")
-            return 1
-    return 0
+            return EXIT_FAILURE
+    return EXIT_OK
 
 
 def _load_candidate(path: str) -> List[dict]:
@@ -250,12 +250,16 @@ def _cmd_migrate_seed(store: TrajectoryStore,
     records = migrate_seed_records(args.seed, commit=args.commit)
     assert all(record_is_valid(r) for r in records)
     if args.no_append:
-        print(json.dumps(records, indent=2, sort_keys=True))
-        return 0
+        print_json(records)
+        return EXIT_OK
     appended = store.append(records)
-    print(f"migrated {appended} seed record(s) from {args.seed} "
-          f"into {store.path}")
-    return 0
+    if args.as_json:
+        print_json({"migrated": appended, "seed": args.seed,
+                    "trajectory": store.path})
+    else:
+        print(f"migrated {appended} seed record(s) from {args.seed} "
+              f"into {store.path}")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -273,9 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "migrate-seed":
             return _cmd_migrate_seed(store, args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0  # pragma: no cover - argparse enforces a command
+        return fail(exc)
+    return EXIT_OK  # pragma: no cover - argparse enforces a command
 
 
 if __name__ == "__main__":

@@ -42,6 +42,13 @@ MODES = ("untuned", "tuned", "verified")
 #: rejects outliers, so a moderate count is enough on quiet machines).
 DEFAULT_REPEATS = 7
 
+#: The pseudo-backend measuring warm-phase-cache *generation* (not
+#: kernel execution): the entry times a full candidate build served
+#: entirely from a pre-warmed :class:`~repro.pipeline.cache.PhaseCache`.
+#: It pairs only with the ``warm`` pseudo-mode.
+PIPELINE_BACKEND = "pipeline"
+PIPELINE_MODE = "warm"
+
 
 @dataclass(frozen=True)
 class ManifestEntry:
@@ -53,11 +60,22 @@ class ManifestEntry:
     repeats: int = DEFAULT_REPEATS
 
     def __post_init__(self) -> None:
-        if self.backend not in EXECUTORS:
+        if self.backend == PIPELINE_BACKEND or self.mode == PIPELINE_MODE:
+            # The generation-speed pseudo-entry: backend and mode only
+            # pair with each other (there is no "tuned pipeline" or
+            # "warm numpy" cell in the matrix).
+            if (self.backend, self.mode) != (PIPELINE_BACKEND,
+                                             PIPELINE_MODE):
+                raise PerfError(
+                    f"manifest entry {self.kernel!r}: backend "
+                    f"{PIPELINE_BACKEND!r} and mode {PIPELINE_MODE!r} "
+                    f"only combine with each other, got "
+                    f"{self.backend!r}/{self.mode!r}")
+        elif self.backend not in EXECUTORS:
             raise PerfError(
                 f"manifest entry {self.kernel!r}: unknown backend "
                 f"{self.backend!r}; known: {', '.join(EXECUTORS)}")
-        if self.mode not in MODES:
+        elif self.mode not in MODES:
             raise PerfError(
                 f"manifest entry {self.kernel!r}: unknown mode "
                 f"{self.mode!r}; known: {', '.join(MODES)}")
@@ -137,9 +155,16 @@ FIGURE_APPS = ("kf:4x4", "gpr:4", "l1a:4")
 
 
 def _smoke_entries() -> List[ManifestEntry]:
-    return [ManifestEntry(kernel=f"{kernel}:{size}", backend=backend)
-            for kernel in SMOKE_KERNELS for size in SMOKE_SIZES
-            for backend in SMOKE_BACKENDS]
+    entries = [ManifestEntry(kernel=f"{kernel}:{size}", backend=backend)
+               for kernel in SMOKE_KERNELS for size in SMOKE_SIZES
+               for backend in SMOKE_BACKENDS]
+    # Generation speed is tracked alongside execution speed: the warm
+    # phase-cache candidate build must stay fast, or tuning/fuzz/CEGIS
+    # iteration all quietly regress.
+    entries.append(ManifestEntry(kernel="potrf:8",
+                                 backend=PIPELINE_BACKEND,
+                                 mode=PIPELINE_MODE))
+    return entries
 
 
 def _figure_specs() -> List[str]:

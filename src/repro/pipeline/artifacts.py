@@ -1,0 +1,74 @@
+"""Typed artifacts of the staged generation pipeline.
+
+Each artifact is the pure output of one phase, stamped with its own
+content key and the key of the artifact it was derived from, so a chain
+``Stage1Artifact -> RewrittenProgram -> LoweredFunction ->
+OptimizedFunction`` is self-describing and every link can be cached and
+reused independently.  The final link, the fully built
+:class:`~repro.slingen.generator.Candidate`, stays in the generator: it
+binds an optimized function to a machine-model estimate, which is
+recomputed per request rather than cached.
+
+Artifacts are plain picklable dataclasses (the persistent
+``REPRO_PHASE_CACHE`` layer stores them as pickles).  They are
+immutable by contract: the :class:`~repro.pipeline.cache.PhaseCache`
+hands out the canonical shared object, and phase drivers deep-copy
+before running any mutating stage (`apply_rewrite_rules` and
+`run_pipeline` both mutate in place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cir.nodes import Function
+from ..cir.passes import PassReport
+from ..ir.program import Program
+from ..lgen.compiler import CompileStats
+from ..slingen.rewrite import RewriteReport
+from ..slingen.stage1 import Stage1Result
+
+
+@dataclass
+class Stage1Artifact:
+    """One Stage-1 synthesis: the basic program plus provenance.
+
+    Built with a *fresh* algorithm database so the artifact (temp names
+    included) is a pure function of its key; ``database_stats`` records
+    that database's hit/synthesis counts for result metadata.
+    """
+
+    key: str
+    result: Stage1Result
+    database_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RewrittenProgram:
+    """The basic program after sound R0/R1 and CEGIS-verified rewrites."""
+
+    key: str
+    stage1_key: str
+    program: Program
+    report: RewriteReport = field(default_factory=RewriteReport)
+
+
+@dataclass
+class LoweredFunction:
+    """The C-IR function straight out of lowering, before Stage-3 passes."""
+
+    key: str
+    rewrite_key: str
+    function: Function
+    stats: CompileStats = field(default_factory=CompileStats)
+
+
+@dataclass
+class OptimizedFunction:
+    """The C-IR function after the Stage-3 pass pipeline."""
+
+    key: str
+    lower_key: str
+    function: Function
+    pass_report: PassReport = field(default_factory=PassReport)

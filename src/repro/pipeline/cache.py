@@ -1,0 +1,219 @@
+"""The phase cache: in-process artifact memo + optional persistent layer.
+
+:class:`PhaseCache` maps ``(phase, key)`` to a pipeline artifact.  The
+hot layer is a per-phase LRU of canonical objects handed out *without
+copying* -- copying a large unrolled C-IR function costs more than the
+lowering it saves.  That makes immutability a hard contract: artifacts
+(and the functions/programs inside results derived from them) are
+read-only everywhere downstream, exactly like results shared out of the
+``MemoryKernelStore``; the only two mutating stages in the pipeline
+(``apply_rewrite_rules``, ``run_pipeline``) run inside phase drivers
+that deep-copy their input first.  All map access is serialized by one
+lock -- the cache is shared across the threaded service's
+coalesced-miss path, the tuner, the fuzz oracle, and the CEGIS verifier.
+
+The persistent layer (:class:`PersistentPhaseStore`) follows the
+TuningDB idiom: one pickle per artifact under
+``<root>/<phase>/<key[:2]>/<key>.pkl``, atomic writes, and corruption
+tolerance (an unreadable entry is quarantined -- unlinked and counted --
+and treated as a miss, never raised through).  It is opt-in: the shared
+process-wide cache only persists when ``$REPRO_PHASE_CACHE`` names a
+directory.
+
+Per-phase wall-clock accounting lives in :class:`PhaseTimings`; one
+instance accumulates over a generation run and surfaces through
+``GenerationResult.summary()`` and ``python -m repro.pipeline profile``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Dict, Optional
+
+from ..ioutil import LruMap, atomic_write_bytes
+from .keys import PHASES
+
+#: Hot-layer capacity per phase (artifacts, not bytes).  Generous enough
+#: for a full tuning sweep over every registry workload; bounded so a
+#: long-lived service process cannot grow without limit.
+DEFAULT_HOT_CAPACITY = 256
+
+#: Environment variable enabling the persistent layer of the shared cache.
+ENV_PHASE_CACHE = "REPRO_PHASE_CACHE"
+
+
+class PhaseTimings:
+    """Per-phase call counts, cache hits, and wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, Dict[str, float]] = {
+            phase: {"calls": 0, "hits": 0, "seconds": 0.0}
+            for phase in PHASES}
+
+    def record(self, phase: str, seconds: float, hit: bool) -> None:
+        entry = self.phases[phase]
+        entry["calls"] += 1
+        entry["hits"] += 1 if hit else 0
+        entry["seconds"] += seconds
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """A plain JSON-able copy (what ``GenerationResult`` carries)."""
+        return {phase: dict(entry) for phase, entry in self.phases.items()}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry["seconds"] for entry in self.phases.values())
+
+
+class PersistentPhaseStore:
+    """Pickled artifacts on disk, sharded TuningDB-style."""
+
+    def __init__(self, root: str):
+        self.root = os.path.expanduser(root)
+        self.reads = 0
+        self.writes = 0
+        self.disk_hits = 0
+        self.corrupt_dropped = 0
+
+    def _path(self, phase: str, key: str) -> str:
+        return os.path.join(self.root, phase, key[:2], f"{key}.pkl")
+
+    def get(self, phase: str, key: str) -> Optional[object]:
+        path = self._path(phase, key)
+        self.reads += 1
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn write, foreign pickle, schema drift: quarantine the
+            # entry and miss -- the cache must never take generation down.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.corrupt_dropped += 1
+            return None
+        self.disk_hits += 1
+        return artifact
+
+    def put(self, phase: str, key: str, artifact: object) -> None:
+        path = self._path(phase, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_bytes(path, pickle.dumps(artifact))
+        self.writes += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {"root": self.root, "reads": self.reads,
+                "writes": self.writes, "disk_hits": self.disk_hits,
+                "corrupt_dropped": self.corrupt_dropped}
+
+
+class PhaseCache:
+    """Thread-safe content-addressed store of pipeline artifacts."""
+
+    def __init__(self, persistent: Optional[PersistentPhaseStore] = None,
+                 hot_capacity: int = DEFAULT_HOT_CAPACITY):
+        self.persistent = persistent
+        self._lock = threading.Lock()
+        self._maps: Dict[str, LruMap] = {
+            phase: LruMap(hot_capacity) for phase in PHASES}
+        self._counters: Dict[str, Dict[str, int]] = {}
+        self.reset_stats()
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, phase: str, key: str) -> Optional[object]:
+        """The canonical artifact at ``(phase, key)``, or ``None``.
+
+        The returned object is shared: treat it (and everything
+        reachable from it) as immutable.  Phase drivers copy before
+        running any mutating stage.
+        """
+        with self._lock:
+            artifact = self._maps[phase].get(key)
+            if artifact is None and self.persistent is not None:
+                artifact = self.persistent.get(phase, key)
+                if artifact is not None:
+                    self._maps[phase].insert(key, artifact)
+            counter = self._counters[phase]
+            counter["hits" if artifact is not None else "misses"] += 1
+        return artifact
+
+    def put(self, phase: str, key: str, artifact: object) -> None:
+        """Adopt ``artifact`` as the canonical entry for ``(phase, key)``.
+
+        The cache takes shared ownership: the caller may keep using the
+        object but must never mutate it afterwards.
+        """
+        with self._lock:
+            self._maps[phase].insert(key, artifact)
+            self._counters[phase]["puts"] += 1
+        if self.persistent is not None:
+            self.persistent.put(phase, key, artifact)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            phases = {phase: dict(counter)
+                      for phase, counter in self._counters.items()}
+            sizes = {phase: len(self._maps[phase]) for phase in PHASES}
+        doc: Dict[str, object] = {
+            "phases": phases,
+            "entries": sizes,
+            "hits": sum(c["hits"] for c in phases.values()),
+            "misses": sum(c["misses"] for c in phases.values()),
+            "persistent": (self.persistent.stats()
+                           if self.persistent is not None else None),
+        }
+        return doc
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._counters = {
+                phase: {"hits": 0, "misses": 0, "puts": 0}
+                for phase in PHASES}
+
+    def clear(self) -> None:
+        """Drop every hot entry (the persistent layer is untouched)."""
+        with self._lock:
+            for lru in self._maps.values():
+                lru.clear()
+
+
+# ---------------------------------------------------------------------------
+# The shared process-wide cache
+# ---------------------------------------------------------------------------
+
+_shared_lock = threading.Lock()
+_shared: Optional[PhaseCache] = None
+
+
+def shared_phase_cache() -> PhaseCache:
+    """The process-wide cache every generator uses by default.
+
+    Sharing one cache is what makes repeated fuzz/CEGIS verifications of
+    the same program reuse lowering, and the tuner's codegen sweeps hit
+    the Stage-1 memo, with no plumbing at the call sites.  Artifacts are
+    pure functions of their keys, so sharing cannot change any result --
+    only how fast it is produced.  Persistence is enabled exactly when
+    ``$REPRO_PHASE_CACHE`` names a directory.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            root = os.environ.get(ENV_PHASE_CACHE, "").strip()
+            persistent = PersistentPhaseStore(root) if root else None
+            _shared = PhaseCache(persistent=persistent)
+        return _shared
+
+
+def reset_shared_phase_cache() -> None:
+    """Drop the shared cache (tests; also re-reads the environment)."""
+    global _shared
+    with _shared_lock:
+        _shared = None

@@ -1,0 +1,171 @@
+"""Phase keys: which option axis feeds which generation phase.
+
+The staged pipeline memoizes one artifact per phase -- Stage-1 synthesis,
+LA-level rewriting, lowering to C-IR, and the Stage-3 pass pipeline --
+each under a content hash of the *resolved inputs that phase actually
+consumes*.  The partition below is the correctness contract of the whole
+cache: an option axis assigned to a phase participates in that phase's
+key (and, through key chaining, in every later phase's key); an axis
+leaking *out* of its phase key would let two requests that generate
+different code collide on one cached artifact -- a wrong-code bug.
+``tests/test_pipeline.py`` asserts the partition covers every
+:class:`~repro.slingen.options.Options` field exactly once.
+
+Resolution notes (why the raw field lives where it does):
+
+* ``block_size`` keys Stage 1 as the *resolved* integer
+  (``codegen.block_size or options.effective_block_size``), so codegen
+  variants that differ only in codegen axes share one Stage-1 build
+  while explicit block-size variants correctly rebuild.
+* ``vectorize`` / ``vector_width`` are consumed by lowering (as the
+  resolved width the codegen variant carries).  They also feed the
+  *default* of ``effective_block_size`` -- that influence is captured
+  because the Stage-1 key stores the resolved block-size integer, not
+  the raw fields.
+* ``scalar_replacement`` / ``load_store_analysis`` key the optimize
+  phase as the effective conjunction ``options.<axis> and
+  codegen.<axis>``, exactly what :class:`~repro.cir.passes.PassOptions`
+  receives.
+* The search-control axes (``autotune``, ``max_variants``,
+  ``stage1_variants``) decide *which* phase calls happen, never what any
+  one phase computes: ``stage1_variants`` resolves into the
+  ``variant_choices`` dict that already keys Stage 1.
+
+The machine model and ``nominal_flops`` feed only the roofline estimate,
+which is recomputed per candidate (it is cheap and not an Options axis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..ir.program import Program
+from ..slingen.options import Options
+
+#: Bump whenever a phase's semantics change such that an old artifact is
+#: no longer what the phase would compute today (pass pipeline changes,
+#: rewrite tiers, canonicalization, artifact shape).
+PHASE_SCHEMA_VERSION = 1
+
+#: The phases, in dataflow order.
+PHASES: Tuple[str, ...] = ("stage1", "rewrite", "lower", "optimize")
+
+#: Which Options field is consumed by which phase key.  See module docs
+#: for how raw fields map to the resolved values the keys actually hash.
+PHASE_AXES: Dict[str, Tuple[str, ...]] = {
+    "stage1": ("block_size",),
+    "rewrite": ("rewrite_rules", "verified_rewrites"),
+    "lower": ("vectorize", "vector_width", "use_shuffle_transpose",
+              "function_name", "annotate_code"),
+    "optimize": ("unroll", "unroll_trip_count", "unroll_body_limit",
+                 "scalar_replacement", "load_store_analysis"),
+}
+
+#: Options fields that steer the variant *search*, not any single phase.
+SEARCH_AXES: Tuple[str, ...] = ("autotune", "max_variants",
+                                "stage1_variants")
+
+
+def partition() -> Dict[str, Tuple[str, ...]]:
+    """The full axis partition, phases plus the search-control bucket."""
+    table = dict(PHASE_AXES)
+    table["search"] = SEARCH_AXES
+    return table
+
+
+def assert_partition_complete() -> None:
+    """Verify the partition against the live ``Options`` dataclass.
+
+    Every field must be assigned to exactly one phase (or be
+    search-control); raises :class:`ConfigurationError` on any field
+    that is missing, duplicated, or unknown.  A new Options axis makes
+    this fail until it is deliberately placed -- which is the point.
+    """
+    declared = [name for axes in partition().values() for name in axes]
+    seen: Dict[str, int] = {}
+    for name in declared:
+        seen[name] = seen.get(name, 0) + 1
+    duplicated = sorted(name for name, count in seen.items() if count > 1)
+    option_fields = {f.name for f in dataclasses.fields(Options)}
+    missing = sorted(option_fields - set(declared))
+    unknown = sorted(set(declared) - option_fields)
+    problems = []
+    if missing:
+        problems.append(f"unassigned Options fields: {', '.join(missing)}")
+    if duplicated:
+        problems.append(f"fields in more than one phase: "
+                        f"{', '.join(duplicated)}")
+    if unknown:
+        problems.append(f"axes naming no Options field: "
+                        f"{', '.join(unknown)}")
+    if problems:
+        raise ConfigurationError(
+            "phase-key partition is not an exact partition of Options: "
+            + "; ".join(problems))
+
+
+def _digest(doc: Dict[str, object]) -> str:
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def stage1_key(program: Program, block_size: int,
+               variant_choices: Mapping[int, str]) -> str:
+    """Key of one Stage-1 synthesis: (program, resolved block size,
+    algorithmic variant choices)."""
+    from ..service.keys import canonical_program
+    return _digest({
+        "schema": PHASE_SCHEMA_VERSION,
+        "phase": "stage1",
+        "program": canonical_program(program),
+        "block_size": int(block_size),
+        "variant_choices": sorted(
+            (int(index), str(variant))
+            for index, variant in variant_choices.items()),
+    })
+
+
+def rewrite_key(stage1: str, rewrite_rules: bool,
+                verified_rewrites: Sequence[str]) -> str:
+    """Key of the LA-level rewrite phase (sound R0/R1 + CEGIS-verified)."""
+    return _digest({
+        "schema": PHASE_SCHEMA_VERSION,
+        "phase": "rewrite",
+        "stage1": stage1,
+        "rewrite_rules": bool(rewrite_rules),
+        "verified_rewrites": [str(r) for r in verified_rewrites],
+    })
+
+
+def lower_key(rewrite: str, vector_width: int, use_shuffle_transpose: bool,
+              function_name: str, annotate: bool) -> str:
+    """Key of lowering to C-IR (resolved vector width and emission axes)."""
+    return _digest({
+        "schema": PHASE_SCHEMA_VERSION,
+        "phase": "lower",
+        "rewrite": rewrite,
+        "vector_width": int(vector_width),
+        "use_shuffle_transpose": bool(use_shuffle_transpose),
+        "function_name": str(function_name),
+        "annotate": bool(annotate),
+    })
+
+
+def optimize_key(lower: str, unroll: bool, unroll_trip_count: int,
+                 unroll_body_limit: int, scalar_replacement: bool,
+                 load_store_analysis: bool) -> str:
+    """Key of the Stage-3 pass pipeline (effective pass toggles)."""
+    return _digest({
+        "schema": PHASE_SCHEMA_VERSION,
+        "phase": "optimize",
+        "lower": lower,
+        "unroll": bool(unroll),
+        "unroll_trip_count": int(unroll_trip_count),
+        "unroll_body_limit": int(unroll_body_limit),
+        "scalar_replacement": bool(scalar_replacement),
+        "load_store_analysis": bool(load_store_analysis),
+    })

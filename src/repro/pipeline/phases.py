@@ -1,0 +1,164 @@
+"""Phase drivers: the Stage 1-3 pipeline as four memoizable steps.
+
+Each driver computes its artifact's content key, consults the
+:class:`~repro.pipeline.cache.PhaseCache` (when given one), and builds
+the artifact only on a miss -- recording wall-clock and hit/miss into a
+:class:`~repro.pipeline.cache.PhaseTimings`.  The drivers are *pure*:
+the artifact a driver returns is fully determined by its key.  Two
+details make that true:
+
+* Stage 1 synthesizes with a **fresh** algorithm database per call, so
+  temporary naming never depends on what other variants were built
+  first (the old shared-database builder numbered temps across
+  candidates in build order -- order-dependent output that a
+  content-addressed cache cannot tolerate).
+* Mutating stages run on private copies: ``apply_rewrite_rules`` and
+  ``run_pipeline`` both mutate in place, so the rewrite and optimize
+  drivers deep-copy their input artifact's program/function first.
+
+``build_candidate`` in :mod:`repro.slingen.generator` chains the four
+drivers and is the only intended caller; the drivers are exposed for
+tests and the ``python -m repro.pipeline profile`` CLI.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..cir.passes import PassOptions, run_pipeline
+from ..cl1ck.database import AlgorithmDatabase
+from ..ir.program import Program
+from ..lgen.compiler import lower_program_with_stats
+from ..lgen.lowering import LoweringOptions
+from ..slingen.rewrite import RewriteReport, apply_rewrite_rules
+from ..slingen.stage1 import synthesize_basic_program
+from .artifacts import (LoweredFunction, OptimizedFunction,
+                        RewrittenProgram, Stage1Artifact)
+from .cache import PhaseCache, PhaseTimings
+from .keys import lower_key, optimize_key, rewrite_key, stage1_key
+
+
+def _finish(timings: Optional[PhaseTimings], phase: str, started: float,
+            hit: bool) -> None:
+    if timings is not None:
+        timings.record(phase, time.perf_counter() - started, hit)
+
+
+def stage1(program: Program, block_size: int,
+           variant_choices: Mapping[int, str],
+           cache: Optional[PhaseCache] = None,
+           timings: Optional[PhaseTimings] = None) -> Stage1Artifact:
+    """Synthesize (or recall) the basic program for one variant choice."""
+    started = time.perf_counter()
+    key = stage1_key(program, block_size, variant_choices)
+    artifact = cache.get("stage1", key) if cache is not None else None
+    if artifact is not None:
+        _finish(timings, "stage1", started, hit=True)
+        return artifact
+    database = AlgorithmDatabase()
+    result = synthesize_basic_program(
+        program, block_size, dict(variant_choices), database,
+        label=f"v{len(variant_choices)}")
+    artifact = Stage1Artifact(key=key, result=result,
+                              database_stats=database.stats())
+    if cache is not None:
+        cache.put("stage1", key, artifact)
+    _finish(timings, "stage1", started, hit=False)
+    return artifact
+
+
+def rewrite(stage1_artifact: Stage1Artifact, rewrite_rules: bool,
+            verified_rewrites: Sequence[str],
+            cache: Optional[PhaseCache] = None,
+            timings: Optional[PhaseTimings] = None) -> RewrittenProgram:
+    """Apply the sound R0/R1 tier and any CEGIS-verified rewrites."""
+    started = time.perf_counter()
+    key = rewrite_key(stage1_artifact.key, rewrite_rules, verified_rewrites)
+    artifact = cache.get("rewrite", key) if cache is not None else None
+    if artifact is not None:
+        _finish(timings, "rewrite", started, hit=True)
+        return artifact
+    program = copy.deepcopy(stage1_artifact.result.program)
+    report = RewriteReport()
+    if rewrite_rules:
+        report = apply_rewrite_rules(program)
+    if verified_rewrites:
+        # CEGIS-verified unsound rewrites run after the sound R0/R1
+        # tier, on the same basic program every later stage consumes.
+        from ..cegis.rewrites import apply_sequence
+        program = apply_sequence(verified_rewrites, program)
+    artifact = RewrittenProgram(key=key, stage1_key=stage1_artifact.key,
+                                program=program, report=report)
+    if cache is not None:
+        cache.put("rewrite", key, artifact)
+    _finish(timings, "rewrite", started, hit=False)
+    return artifact
+
+
+def lower(rewritten: RewrittenProgram, vector_width: int,
+          use_shuffle_transpose: bool, function_name: str, annotate: bool,
+          cache: Optional[PhaseCache] = None,
+          timings: Optional[PhaseTimings] = None) -> LoweredFunction:
+    """Lower the rewritten basic program to a C-IR function."""
+    started = time.perf_counter()
+    key = lower_key(rewritten.key, vector_width, use_shuffle_transpose,
+                    function_name, annotate)
+    artifact = cache.get("lower", key) if cache is not None else None
+    if artifact is not None:
+        _finish(timings, "lower", started, hit=True)
+        return artifact
+    options = LoweringOptions(vector_width=vector_width,
+                              use_shuffle_transpose=use_shuffle_transpose)
+    function, stats = lower_program_with_stats(
+        rewritten.program, options, function_name=function_name,
+        annotate=annotate)
+    artifact = LoweredFunction(key=key, rewrite_key=rewritten.key,
+                               function=function, stats=stats)
+    if cache is not None:
+        cache.put("lower", key, artifact)
+    _finish(timings, "lower", started, hit=False)
+    return artifact
+
+
+def optimize(lowered: LoweredFunction, pass_options: PassOptions,
+             cache: Optional[PhaseCache] = None,
+             timings: Optional[PhaseTimings] = None) -> OptimizedFunction:
+    """Run the Stage-3 pass pipeline on a private copy of the function."""
+    started = time.perf_counter()
+    key = optimize_key(lowered.key, pass_options.unroll,
+                       pass_options.max_unroll_trip_count,
+                       pass_options.max_unroll_body,
+                       pass_options.scalar_replacement,
+                       pass_options.load_store_analysis)
+    artifact = cache.get("optimize", key) if cache is not None else None
+    if artifact is not None:
+        _finish(timings, "optimize", started, hit=True)
+        return artifact
+    function = copy.deepcopy(lowered.function)
+    report = run_pipeline(function, pass_options)
+    artifact = OptimizedFunction(key=key, lower_key=lowered.key,
+                                 function=function, pass_report=report)
+    if cache is not None:
+        cache.put("optimize", key, artifact)
+    _finish(timings, "optimize", started, hit=False)
+    return artifact
+
+
+def aggregate_database_stats(
+        per_stage1: Mapping[str, Mapping[str, int]]) -> Dict[str, int]:
+    """Combine per-Stage-1-artifact algorithm-database stats.
+
+    The staged pipeline gives every Stage-1 synthesis its own database
+    (purity requires it); result metadata still wants one roll-up, and
+    summing over *distinct* Stage-1 artifacts keeps the roll-up a pure
+    function of which artifacts a generation consumed -- identical on
+    cold and warm runs.
+    """
+    total: Dict[str, int] = {"signatures": 0, "cached_expansions": 0,
+                             "hits": 0, "syntheses": 0}
+    for stats in per_stage1.values():
+        for name in total:
+            total[name] += int(stats.get(name, 0))
+    return total

@@ -15,7 +15,10 @@ Usage (``PYTHONPATH=src python -m repro.service <command>``)::
 A SPEC is ``name:size`` (``potrf:12``), ``name:sizexk`` (``kf:8x4``), or a
 bare case name, which expands to the default size sweep.  The cache root
 defaults to ``~/.cache/repro-slingen/kernels`` and can be moved with
-``--cache-dir`` or the ``REPRO_KERNEL_CACHE`` environment variable.
+``--store`` (historical alias ``--cache-dir``) or the
+``REPRO_KERNEL_CACHE`` environment variable.  Every subcommand accepts
+``--json`` for a machine-readable document; exit-code semantics are the
+shared contract of :mod:`repro.cli`.
 
 The global flags ``--tuned`` / ``--tuning-db DIR`` (before the command:
 ``python -m repro.service --tuned warm potrf:4``) make the service consult
@@ -28,12 +31,13 @@ compose (tuned knobs + verified rewrite set).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
 import numpy as np
 
+from ..cli import (EXIT_FAILURE, EXIT_OK, add_json_flag, confirm, fail,
+                   print_json)
 from ..errors import ReproError
 from ..slingen.options import Options
 from .registry import sweep_requests, workload_names
@@ -45,8 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
         description="Warm, query, and purge the persistent kernel cache.")
-    parser.add_argument("--cache-dir", default=None,
-                        help=f"cache root (default: {default_cache_dir()})")
+    parser.add_argument("--store", "--cache-dir", dest="cache_dir",
+                        default=None, metavar="DIR",
+                        help=f"kernel store root (default: "
+                             f"{default_cache_dir()})")
     parser.add_argument("--tuned", action="store_true",
                         help="consult the persistent tuning database: "
                              "workloads with a tuned-best record generate "
@@ -73,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="worker pool size for misses")
     warm.add_argument("--serial", action="store_true",
                       help="generate misses one at a time")
+    add_json_flag(warm)
 
     run = sub.add_parser("run", help="generate (or hit) workloads and "
                                      "execute them on synthesized inputs")
@@ -86,6 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "when $CC resolves, numpy otherwise)")
     run.add_argument("--repeats", type=int, default=5,
                      help="timing samples per workload")
+    add_json_flag(run)
 
     serve = sub.add_parser(
         "serve", help="run the HTTP kernel-serving daemon")
@@ -98,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "before answering 503 (default: 8)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    add_json_flag(serve, help="print the shutdown summary as JSON")
 
     query = sub.add_parser("query", help="look up workloads without "
                                          "generating")
@@ -105,17 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scalar", action="store_true")
     query.add_argument("--no-autotune", action="store_true")
     query.add_argument("--max-variants", type=int, default=6)
+    add_json_flag(query)
 
     ls = sub.add_parser("ls", help="list cached kernels")
     ls.add_argument("--shards", action="store_true",
                     help="show per-shard usage instead of entries")
-    sub.add_parser("stats", help="print store statistics")
+    add_json_flag(ls)
+    stats = sub.add_parser("stats", help="print store statistics")
+    add_json_flag(stats, help="accepted for consistency (stats is "
+                              "always JSON)")
 
     purge = sub.add_parser("purge", help="drop every cached kernel")
     purge.add_argument("--yes", action="store_true",
                        help="do not ask for confirmation")
+    add_json_flag(purge)
 
-    sub.add_parser("workloads", help="list registered workload names")
+    workloads = sub.add_parser("workloads",
+                               help="list registered workload names")
+    add_json_flag(workloads)
     return parser
 
 
@@ -130,6 +146,21 @@ def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
     options = _options_from(args)
     requests = sweep_requests(args.specs or None, options=options)
     responses = service.generate_many(requests, parallel=not args.serial)
+    summary = service.stats.snapshot()
+    if args.as_json:
+        print_json({
+            "workloads": [{
+                "label": r.label,
+                "hit": r.cache_hit,
+                "tuned": r.tuned,
+                "verified": r.verified,
+                "latency_s": r.latency_s,
+                "flops_per_cycle": r.result.performance.flops_per_cycle,
+                "key": r.key,
+            } for r in responses],
+            "stats": summary,
+        })
+        return EXIT_OK
     width = max(len(r.label or "") for r in responses)
     for response in responses:
         state = "hit " if response.cache_hit else "MISS"
@@ -141,11 +172,10 @@ def _cmd_warm(service: KernelService, args: argparse.Namespace) -> int:
         print(f"{(response.label or ''):{width}s}  {state}  "
               f"{response.latency_s * 1e3:8.1f} ms  "
               f"{perf.flops_per_cycle:6.3f} f/c  {response.key[:12]}")
-    summary = service.stats.snapshot()
     print(f"warmed {summary['requests']} workloads: "
           f"{summary['hits']} hits, {summary['misses']} generated "
           f"({summary['coalesced']} coalesced)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_run(service: KernelService, args: argparse.Namespace) -> int:
@@ -157,6 +187,7 @@ def _cmd_run(service: KernelService, args: argparse.Namespace) -> int:
 
     options = _options_from(args)
     failures = 0
+    docs = []
     for text in args.specs:
         for request in sweep_requests([text], options=options):
             response = service.generate(request)
@@ -169,31 +200,49 @@ def _cmd_run(service: KernelService, args: argparse.Namespace) -> int:
                 failures += 1
             seconds = statistics.median(
                 kernel.time(inputs, repeats=args.repeats))
+            if args.as_json:
+                docs.append({"label": request.label,
+                             "hit": response.cache_hit,
+                             "executor": type(kernel).__name__,
+                             "seconds": seconds,
+                             "outputs": sorted(outputs),
+                             "finite": finite})
+                continue
             state = "hit " if response.cache_hit else "MISS"
             print(f"{request.label:14s} {state}  "
                   f"{type(kernel).__name__:17s} "
                   f"{seconds * 1e6:10.1f} us/call  "
                   f"outputs={','.join(sorted(outputs))} "
                   f"{'ok' if finite else 'NON-FINITE'}")
-    return 1 if failures else 0
+    if args.as_json:
+        print_json({"workloads": docs, "failures": failures})
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 def _cmd_query(service: KernelService, args: argparse.Namespace) -> int:
     options = _options_from(args)
     missing = 0
+    docs = []
     for text in args.specs:
         # Like warm: a bare case name expands to its default size sweep.
         for request in sweep_requests([text], options=options):
             key = service.request_key(request)
             meta = service.store.metadata(key)
+            if args.as_json:
+                docs.append({"label": request.label, "key": key,
+                             "hit": meta is not None,
+                             "metadata": meta})
             if meta is None:
                 missing += 1
-                print(f"{request.label}: MISS  {key}")
-            else:
+                if not args.as_json:
+                    print(f"{request.label}: MISS  {key}")
+            elif not args.as_json:
                 print(f"{request.label}: hit   {key}  "
                       f"variant={meta.get('variant')} "
                       f"f/c={meta.get('flops_per_cycle'):.3f}")
-    return 1 if missing else 0
+    if args.as_json:
+        print_json({"entries": docs, "missing": missing})
+    return EXIT_FAILURE if missing else EXIT_OK
 
 
 def _cmd_serve(service: KernelService, args: argparse.Namespace) -> int:
@@ -221,11 +270,14 @@ def _cmd_serve(service: KernelService, args: argparse.Namespace) -> int:
           flush=True)
     server.serve_forever()
     summary = service.stats.snapshot()
-    print(f"shut down after {summary['requests']} requests: "
-          f"{summary['hits']} hits, {summary['generations']} generated, "
-          f"{summary['coalesced']} coalesced, "
-          f"{server.rejected} rejected", flush=True)
-    return 0
+    if args.as_json:
+        print_json({"stats": summary, "rejected": server.rejected})
+    else:
+        print(f"shut down after {summary['requests']} requests: "
+              f"{summary['hits']} hits, {summary['generations']} generated, "
+              f"{summary['coalesced']} coalesced, "
+              f"{server.rejected} rejected", flush=True)
+    return EXIT_OK
 
 
 def _cmd_ls(service: KernelService, args: argparse.Namespace) -> int:
@@ -233,8 +285,11 @@ def _cmd_ls(service: KernelService, args: argparse.Namespace) -> int:
         shard_stats = getattr(service.store, "shard_stats", None)
         if not callable(shard_stats):
             print("store has no shard accounting")
-            return 1
+            return EXIT_FAILURE
         shards = shard_stats()
+        if args.as_json:
+            print_json({"shards": shards})
+            return EXIT_OK
         for shard in sorted(shards):
             doc = shards[shard]
             print(f"{shard}  {doc['entries']:>5} entries  "
@@ -242,35 +297,42 @@ def _cmd_ls(service: KernelService, args: argparse.Namespace) -> int:
                   f"{doc['evictions']:>4} evicted  "
                   f"lru age {doc['lru_age_s']:8.1f} s")
         print(f"{len(shards)} shards")
-        return 0
+        return EXIT_OK
     keys = service.store.keys()
+    if args.as_json:
+        print_json({"entries": [
+            {"key": key, "metadata": service.store.metadata(key) or {}}
+            for key in keys]})
+        return EXIT_OK
     if not keys:
         print("cache is empty")
-        return 0
+        return EXIT_OK
     for key in keys:
         meta = service.store.metadata(key) or {}
         print(f"{key[:16]}  {meta.get('label') or meta.get('program', '?'):20s}"
               f"  {meta.get('variant', '?'):16s}"
               f"  {meta.get('payload_bytes', 0):>8} B")
     print(f"{len(keys)} entries")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_stats(service: KernelService) -> int:
-    print(json.dumps(service.store.stats(), indent=2, sort_keys=True))
-    return 0
+    print_json(service.store.stats())
+    return EXIT_OK
 
 
 def _cmd_purge(service: KernelService, args: argparse.Namespace) -> int:
     root = getattr(service.store, "root", "<store>")
-    if not args.yes:
-        reply = input(f"purge every cached kernel under {root}? [y/N] ")
-        if reply.strip().lower() not in ("y", "yes"):
-            print("aborted")
-            return 1
+    if not confirm(f"purge every cached kernel under {root}?",
+                   assume_yes=args.yes):
+        print("aborted")
+        return EXIT_FAILURE
     removed = service.store.purge()
-    print(f"purged {removed} entries")
-    return 0
+    if args.as_json:
+        print_json({"purged": removed})
+    else:
+        print(f"purged {removed} entries")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -303,12 +365,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "purge":
             return _cmd_purge(service, args)
         if args.command == "workloads":
-            print("\n".join(workload_names()))
-            return 0
+            if args.as_json:
+                print_json({"workloads": workload_names()})
+            else:
+                print("\n".join(workload_names()))
+            return EXIT_OK
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0  # pragma: no cover - argparse enforces a command
+        return fail(exc)
+    return EXIT_OK  # pragma: no cover - argparse enforces a command
 
 
 if __name__ == "__main__":

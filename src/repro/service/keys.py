@@ -36,7 +36,11 @@ from ..slingen.options import Options
 #: scalar-replacement axes) and the ``stage1_variants`` option.
 #: v3: the ``verified_rewrites`` option (CEGIS tier) -- kernels generated
 #: with a banked rewrite set must never collide with unverified ones.
-KEY_SCHEMA_VERSION = 3
+#: v4: the staged pipeline -- every Stage-1 synthesis now uses a fresh
+#: algorithm database (purity of cached phase artifacts), which renumbers
+#: temporaries in non-default variants, and ``GenerationResult`` grew the
+#: ``phase_stats`` field; old pickled store entries must not be recalled.
+KEY_SCHEMA_VERSION = 4
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ the performance estimate, and enough metadata to reproduce the choice.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Dict, List, Optional, Tuple
 
@@ -33,20 +34,19 @@ import numpy as np
 from ..backend.c_unparser import unparse_function
 from ..cir.nodes import Function
 from ..cir.interpreter import Interpreter
-from ..cir.passes import PassOptions, PassReport, run_pipeline
-from ..cl1ck.database import AlgorithmDatabase
+from ..cir.passes import PassOptions, PassReport
 from ..errors import AutotuningError
 from ..ir.program import Program
-from ..lgen.compiler import lower_program_with_stats
-from ..lgen.lowering import LoweringOptions
 from ..lgen.tiling import (CodegenVariant, candidate_variants,
                            dedupe_resolved)
 from ..machine.microarch import MicroArchitecture, default_machine
 from ..machine.roofline import PerformanceEstimate, analyze_function
+from ..pipeline import phases as pipeline_phases
+from ..pipeline.cache import PhaseCache, PhaseTimings, shared_phase_cache
 from .options import Options
-from .rewrite import RewriteReport, apply_rewrite_rules
-from .stage1 import (Stage1Result, enumerate_variant_choices, find_hlac_sites,
-                     synthesize_basic_program)
+from .rewrite import RewriteReport
+from .stage1 import (Stage1Result, enumerate_variant_choices,
+                     find_hlac_sites)
 
 
 @dataclass
@@ -60,6 +60,10 @@ class Candidate:
     estimate: PerformanceEstimate
     pass_report: PassReport
     rewrite_report: RewriteReport
+    #: Key of the Stage-1 artifact this candidate was derived from, and
+    #: that artifact's algorithm-database stats (for result metadata).
+    stage1_cache_key: str = ""
+    database_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cycles(self) -> float:
@@ -88,6 +92,11 @@ class GenerationResult:
     basic_program: Optional[Program] = None
     pass_report: Optional[PassReport] = None
     rewrite_report: Optional[RewriteReport] = None
+    #: Per-phase wall-clock/hit accounting of the generation run that
+    #: produced this result (``None`` on results recalled from a store:
+    #: a store hit did no phase work, and stored results stay a pure
+    #: function of their key).
+    phase_stats: Optional[Dict[str, Dict[str, float]]] = None
 
     def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Execute the generated kernel on numpy inputs (via the C-IR
@@ -133,7 +142,7 @@ class GenerationResult:
         return self.performance.flops_per_cycle
 
     def summary(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "program": self.program_name,
             "variant": self.variant_label,
             "cycles": self.performance.cycles,
@@ -142,6 +151,9 @@ class GenerationResult:
             "statements": self.function.statement_count(),
             "candidates_evaluated": len(self.candidates),
         }
+        if self.phase_stats is not None:
+            doc["phases"] = self.phase_stats
+        return doc
 
 
 @dataclass
@@ -159,6 +171,7 @@ class GeneratedCode:
     pass_report: Optional[PassReport] = None
     rewrite_report: Optional[RewriteReport] = None
     database_stats: Dict[str, int] = field(default_factory=dict)
+    phase_stats: Optional[Dict[str, Dict[str, float]]] = None
 
     @classmethod
     def from_result(cls, program: Program,
@@ -175,7 +188,8 @@ class GeneratedCode:
             candidates=result.candidates,
             pass_report=result.pass_report,
             rewrite_report=result.rewrite_report,
-            database_stats=result.database_stats)
+            database_stats=result.database_stats,
+            phase_stats=result.phase_stats)
 
     def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Execute the generated kernel on numpy inputs (via the C-IR
@@ -206,7 +220,7 @@ class GeneratedCode:
         return self.performance.flops_per_cycle
 
     def summary(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "program": self.program.name,
             "variant": self.variant_label,
             "cycles": self.performance.cycles,
@@ -215,46 +229,44 @@ class GeneratedCode:
             "statements": self.function.statement_count(),
             "candidates_evaluated": len(self.candidates),
         }
+        if self.phase_stats is not None:
+            doc["phases"] = self.phase_stats
+        return doc
 
 
 def build_candidate(program: Program, options: Options,
                     machine: MicroArchitecture,
                     variant_choices: Dict[int, str],
                     codegen: CodegenVariant,
-                    database: AlgorithmDatabase,
                     block_size: int,
-                    nominal_flops: Optional[float]) -> Candidate:
+                    nominal_flops: Optional[float],
+                    cache: Optional[PhaseCache] = None,
+                    timings: Optional[PhaseTimings] = None) -> Candidate:
     """Run Stages 1-3 for one (algorithmic, code-generation) variant pair.
 
     This is the single place a candidate implementation is built; the
     generator's search strategies and the standalone empirical tuner both
     call it.  ``block_size`` is the options default; a ``codegen`` with an
     explicit ``block_size`` overrides it for Stage-1 synthesis.
+
+    The stages run as the four memoized drivers of
+    :mod:`repro.pipeline.phases`, each keyed by exactly the option axes
+    it consumes (:data:`repro.pipeline.keys.PHASE_AXES`): with a
+    ``cache``, codegen-only sweeps reuse one Stage-1 build and repeated
+    generations of the same program reuse lowering.  Only the roofline
+    estimate -- a cheap static analysis parameterized by the machine
+    model -- is recomputed every call.
     """
-    stage1 = synthesize_basic_program(
-        program, codegen.block_size or block_size, variant_choices, database,
-        label=f"v{len(variant_choices)}")
-
-    rewrite_report = RewriteReport()
-    if options.rewrite_rules:
-        rewrite_report = apply_rewrite_rules(stage1.program)
-
-    if options.verified_rewrites:
-        # CEGIS-verified unsound rewrites run after the sound R0/R1
-        # tier, on the same basic program every later stage consumes.
-        from ..cegis.rewrites import apply_sequence
-        stage1 = dataclasses_replace(
-            stage1, program=apply_sequence(options.verified_rewrites,
-                                           stage1.program))
-
-    lowering = LoweringOptions(
-        vector_width=codegen.vector_width,
-        use_shuffle_transpose=codegen.use_shuffle_transpose)
-    function, _ = lower_program_with_stats(
-        stage1.program, lowering,
+    stage1_art = pipeline_phases.stage1(
+        program, codegen.block_size or block_size, variant_choices,
+        cache=cache, timings=timings)
+    rewritten = pipeline_phases.rewrite(
+        stage1_art, options.rewrite_rules, options.verified_rewrites,
+        cache=cache, timings=timings)
+    lowered = pipeline_phases.lower(
+        rewritten, codegen.vector_width, codegen.use_shuffle_transpose,
         function_name=options.function_name or f"{program.name}_kernel",
-        annotate=options.annotate_code)
-
+        annotate=options.annotate_code, cache=cache, timings=timings)
     pass_options = PassOptions(
         unroll=options.unroll,
         max_unroll_trip_count=codegen.unroll_trip_count,
@@ -265,15 +277,22 @@ def build_candidate(program: Program, options: Options,
                              and codegen.load_store_analysis),
         dead_code_elimination=True,
         algebraic_simplification=True)
-    pass_report = run_pipeline(function, pass_options)
+    optimized = pipeline_phases.optimize(lowered, pass_options,
+                                         cache=cache, timings=timings)
 
-    estimate = analyze_function(function, machine=machine,
+    estimate = analyze_function(optimized.function, machine=machine,
                                 nominal_flops=nominal_flops)
+    # The candidate's Stage-1 view carries the *rewritten* program (the
+    # basic program every later stage consumed), as it always has.
+    stage1 = dataclasses_replace(stage1_art.result,
+                                 program=rewritten.program)
     label = f"{stage1.label}|{codegen.label}"
     return Candidate(label=label, stage1=stage1, codegen=codegen,
-                     function=function, estimate=estimate,
-                     pass_report=pass_report,
-                     rewrite_report=rewrite_report)
+                     function=optimized.function, estimate=estimate,
+                     pass_report=optimized.pass_report,
+                     rewrite_report=rewritten.report,
+                     stage1_cache_key=stage1_art.key,
+                     database_stats=stage1_art.database_stats)
 
 
 class CandidateBuilder:
@@ -283,6 +302,14 @@ class CandidateBuilder:
     (Stage-1 choice index, codegen variant index) -- to fully built
     :class:`Candidate` implementations, building each point at most once
     and recording build order for the result metadata.
+
+    The builder is thread-safe: the memo, build list, and timing
+    accumulator are guarded by one lock, so the threaded service's
+    coalesced-miss path (or any caller scoring points from several
+    threads) still builds each point exactly once.  Shared Stage-1 work
+    lives in the (itself thread-safe) ``phase_cache``; each phase builds
+    with private state, so there is no cross-candidate mutable
+    algorithm database left to race on.
     """
 
     def __init__(self, program: Program, options: Options,
@@ -290,7 +317,8 @@ class CandidateBuilder:
                  stage1_choices: List[Dict[int, str]],
                  codegen_variants: List[CodegenVariant],
                  nominal_flops: Optional[float] = None,
-                 database: Optional[AlgorithmDatabase] = None):
+                 phase_cache: Optional[PhaseCache] = None,
+                 timings: Optional[PhaseTimings] = None):
         if not stage1_choices or not codegen_variants:
             raise AutotuningError("empty variant space")
         self.program = program
@@ -299,10 +327,13 @@ class CandidateBuilder:
         self.stage1_choices = stage1_choices
         self.codegen_variants = codegen_variants
         self.nominal_flops = nominal_flops
-        self.database = database or AlgorithmDatabase()
+        self.phase_cache = (phase_cache if phase_cache is not None
+                            else shared_phase_cache())
+        self.timings = timings if timings is not None else PhaseTimings()
         self.block_size = options.effective_block_size
         self.built: List[Candidate] = []
         self._memo: Dict[Tuple[int, int], Candidate] = {}
+        self._lock = threading.Lock()
 
     def space(self):
         """The joint search space strategies walk."""
@@ -312,16 +343,31 @@ class CandidateBuilder:
     def candidate(self, point) -> Candidate:
         """The candidate at ``point`` (built on first request)."""
         key = (point.stage1, point.codegen)
-        found = self._memo.get(key)
-        if found is None:
-            found = build_candidate(
-                self.program, self.options, self.machine,
-                self.stage1_choices[point.stage1],
-                self.codegen_variants[point.codegen],
-                self.database, self.block_size, self.nominal_flops)
-            self._memo[key] = found
-            self.built.append(found)
+        # The lock is held across the build: concurrent requests for the
+        # same point coalesce into one build, and `built` keeps exact
+        # build order.  Builds are pure CPU work with no reentry into
+        # the builder, so holding the lock cannot deadlock.
+        with self._lock:
+            found = self._memo.get(key)
+            if found is None:
+                found = build_candidate(
+                    self.program, self.options, self.machine,
+                    self.stage1_choices[point.stage1],
+                    self.codegen_variants[point.codegen],
+                    self.block_size, self.nominal_flops,
+                    cache=self.phase_cache, timings=self.timings)
+                self._memo[key] = found
+                self.built.append(found)
         return found
+
+    def database_stats(self) -> Dict[str, int]:
+        """Algorithm-database stats rolled up over the distinct Stage-1
+        artifacts the built candidates consumed (identical whether the
+        artifacts were freshly synthesized or phase-cache hits)."""
+        with self._lock:
+            per_stage1 = {c.stage1_cache_key: c.database_stats
+                          for c in self.built}
+        return pipeline_phases.aggregate_database_stats(per_stage1)
 
 
 class SLinGen:
@@ -331,7 +377,8 @@ class SLinGen:
                  machine: Optional[MicroArchitecture] = None,
                  store: Optional[object] = None,
                  strategy: Optional[object] = None,
-                 measurer: Optional[object] = None):
+                 measurer: Optional[object] = None,
+                 phase_cache: Optional[PhaseCache] = None):
         """``store`` (a :class:`repro.service.store.KernelStore`) makes the
         generator consult and populate the persistent kernel cache on every
         ``generate``/``generate_result`` call.
@@ -340,18 +387,31 @@ class SLinGen:
         its name) and ``measurer`` (a :class:`~repro.tuning.measure.Measurer`
         or backend name) customize how ``autotune=True`` explores the
         variant space.  Both default to the paper's model-driven two-phase
-        search -- keys and results for unchanged requests stay stable."""
+        search -- keys and results for unchanged requests stay stable.
+
+        ``phase_cache`` (a :class:`~repro.pipeline.cache.PhaseCache`)
+        memoizes Stage-1/rewrite/lowering/pass artifacts across variants
+        and across calls; ``None`` uses the shared process-wide cache
+        (:func:`~repro.pipeline.cache.shared_phase_cache`).  Phase
+        artifacts are pure functions of their keys, so the cache changes
+        generation cost, never generated code."""
         self.options = options or Options()
         self.machine = machine or default_machine()
         self.store = store
         self.strategy = strategy
         self.measurer = measurer
+        self.phase_cache = phase_cache
 
     # -- public API -------------------------------------------------------------
 
     def generate(self, program: Program,
                  nominal_flops: Optional[float] = None) -> GeneratedCode:
-        """Generate optimized code for an LA program."""
+        """Generate optimized code for an LA program.
+
+        Thin wrapper over the canonical :meth:`generate_result` path: it
+        runs exactly that and re-binds the pure result to ``program``
+        as a :class:`GeneratedCode`.
+        """
         result = self.generate_result(program, nominal_flops=nominal_flops)
         return GeneratedCode.from_result(program, result)
 
@@ -361,7 +421,9 @@ class SLinGen:
         """Generate code for an LA program, returning the pure
         :class:`GenerationResult` (no reference back to ``program``).
 
-        This is the path the kernel service calls: the result pickles
+        This is **the** canonical generation path: :meth:`generate` and
+        the module-level :func:`generate` are thin wrappers over it, and
+        it is the path the kernel service calls.  The result pickles
         cleanly, so it can cross process boundaries and live in the
         persistent store.  When the generator was constructed with a
         ``store``, the store is consulted first and populated on a miss.
@@ -387,7 +449,11 @@ class SLinGen:
 
         result = self._generate_uncached(program, nominal_flops)
         if self.store is not None and key is not None:
-            self.store.put(key, result)
+            # Stored results are a pure function of their key; the phase
+            # timings are wall-clock measurements of *this* run, so they
+            # stay out of the persisted artifact.
+            self.store.put(key, dataclasses_replace(result,
+                                                    phase_stats=None))
         return result
 
     def _generate_uncached(self, program: Program,
@@ -422,7 +488,7 @@ class SLinGen:
 
         builder = CandidateBuilder(
             program, options, self.machine, stage1_choices, codegen_variants,
-            nominal_flops=nominal_flops)
+            nominal_flops=nominal_flops, phase_cache=self.phase_cache)
         strategy = make_strategy(self.strategy or "two-phase")
         scores: Dict[str, float] = {}
 
@@ -468,14 +534,17 @@ class SLinGen:
                 "bottleneck": c.estimate.bottleneck,
                 "score": scores.get(c.label),
             } for c in builder.built],
-            database_stats=builder.database.stats(),
+            database_stats=builder.database_stats(),
             pass_report=best.pass_report,
             rewrite_report=best.rewrite_report,
+            phase_stats=builder.timings.as_dict(),
         )
 
 
 
 def generate(program: Program, options: Optional[Options] = None,
              nominal_flops: Optional[float] = None) -> GeneratedCode:
-    """Convenience wrapper: ``SLinGen(options).generate(program)``."""
+    """Module-level convenience wrapper over the one canonical generation
+    path, ``SLinGen.generate_result``: equivalent to
+    ``SLinGen(options).generate(program)``."""
     return SLinGen(options).generate(program, nominal_flops=nominal_flops)

@@ -4,11 +4,11 @@ Usage (``PYTHONPATH=src python -m repro.tuning <command>``)::
 
     tune   SPEC ... [--strategy S] [--budget N] [--seed N]
                     [--backend auto|compiled|numpy|interpreter|model]
-                    [--scalar]
+                    [--scalar] [--json]
     report [SPEC ...] [--json]      # show records (all, or for the specs);
                                     # --json emits the stable machine schema
     export [--output FILE]          # dump every record as JSON
-    purge  [--yes]                  # drop every tuning record
+    purge  [--yes] [--json]         # drop every tuning record
 
 A SPEC is ``name:size`` (``potrf:12``) or ``name:sizexk`` (``kf:8x4``) --
 the same workload addresses the kernel service uses.  The database root
@@ -25,6 +25,8 @@ import json
 import sys
 from typing import List, Optional
 
+from ..cli import (EXIT_FAILURE, EXIT_OK, add_json_flag, confirm, fail,
+                   print_json)
 from ..errors import ReproError
 from ..slingen.options import Options
 from .db import TuningDB, default_tuning_dir, tuning_key
@@ -56,6 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "$REPRO_TUNE_BACKEND)")
     tune.add_argument("--scalar", action="store_true",
                       help="tune scalar (non-vectorized) kernels")
+    add_json_flag(tune)
 
     report = sub.add_parser("report", help="show tuning records")
     report.add_argument("specs", nargs="*", metavar="SPEC",
@@ -63,18 +66,20 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scalar", action="store_true",
                         help="look up the scalar-tuned records for the "
                              "given specs")
-    report.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit a machine-readable report (stable "
-                             "schema, see REPORT_SCHEMA_VERSION) instead "
-                             "of the human-readable table")
+    add_json_flag(report, help="emit a machine-readable report (stable "
+                               "schema, see REPORT_SCHEMA_VERSION) "
+                               "instead of the human-readable table")
 
     export = sub.add_parser("export", help="dump records as JSON")
     export.add_argument("--output", default=None, metavar="FILE",
                         help="write to FILE instead of stdout")
+    add_json_flag(export, help="accepted for consistency (export is "
+                               "always JSON)")
 
     purge = sub.add_parser("purge", help="drop every tuning record")
     purge.add_argument("--yes", action="store_true",
                        help="do not ask for confirmation")
+    add_json_flag(purge)
     return parser
 
 
@@ -120,14 +125,24 @@ def _cmd_tune(db: TuningDB, args: argparse.Namespace) -> int:
     options = Options(vectorize=not args.scalar, annotate_code=False)
     tuner = Autotuner(db=db, measurer=args.backend, strategy=args.strategy,
                       budget=args.budget, seed=args.seed)
+    records = []
     for text in args.specs:
         spec = parse_spec(text)
         record = tuner.tune_case(build_case(spec), options=options,
                                  label=spec.label)
-        print(f"{_record_line(record)}  {record.key[:12]}")
-    print(f"tuned {len(args.specs)} workload(s) with "
-          f"{tuner.measurer.name} measurements into {db.root}")
-    return 0
+        records.append((text, record))
+        if not args.as_json:
+            print(f"{_record_line(record)}  {record.key[:12]}")
+    if args.as_json:
+        print_json({"schema": REPORT_SCHEMA_VERSION,
+                    "db_root": db.root,
+                    "backend": tuner.measurer.name,
+                    "records": [_record_json(record, spec)
+                                for spec, record in records]})
+    else:
+        print(f"tuned {len(args.specs)} workload(s) with "
+              f"{tuner.measurer.name} measurements into {db.root}")
+    return EXIT_OK
 
 
 def _cmd_report(db: TuningDB, args: argparse.Namespace) -> int:
@@ -148,15 +163,15 @@ def _cmd_report(db: TuningDB, args: argparse.Namespace) -> int:
                  for record in sorted(db.records(), key=lambda r: r.label)]
 
     if args.as_json:
-        print(json.dumps({
+        print_json({
             "schema": REPORT_SCHEMA_VERSION,
             "db_root": db.root,
             "requested": list(args.specs) or None,
             "missing": missing,
             "records": [_record_json(record, spec)
                         for spec, record in found],
-        }, indent=2, sort_keys=True))
-        return 1 if missing else 0
+        })
+        return EXIT_FAILURE if missing else EXIT_OK
 
     for text in missing:
         print(f"{text}: no tuning record")
@@ -167,7 +182,7 @@ def _cmd_report(db: TuningDB, args: argparse.Namespace) -> int:
             print("tuning database is empty")
         else:
             print(f"{len(found)} record(s) in {db.root}")
-    return 1 if missing else 0
+    return EXIT_FAILURE if missing else EXIT_OK
 
 
 def _cmd_export(db: TuningDB, args: argparse.Namespace) -> int:
@@ -179,18 +194,20 @@ def _cmd_export(db: TuningDB, args: argparse.Namespace) -> int:
         print(f"exported {len(doc)} record(s) to {args.output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_purge(db: TuningDB, args: argparse.Namespace) -> int:
-    if not args.yes:
-        reply = input(f"purge every tuning record under {db.root}? [y/N] ")
-        if reply.strip().lower() not in ("y", "yes"):
-            print("aborted")
-            return 1
+    if not confirm(f"purge every tuning record under {db.root}?",
+                   assume_yes=args.yes):
+        print("aborted")
+        return EXIT_FAILURE
     removed = db.purge()
-    print(f"purged {removed} record(s)")
-    return 0
+    if args.as_json:
+        print_json({"purged": removed})
+    else:
+        print(f"purged {removed} record(s)")
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -206,9 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "purge":
             return _cmd_purge(db, args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0  # pragma: no cover - argparse enforces a command
+        return fail(exc)
+    return EXIT_OK  # pragma: no cover - argparse enforces a command
 
 
 if __name__ == "__main__":

@@ -68,14 +68,18 @@ class Autotuner:
                  measurer: "str | Measurer | None" = None,
                  strategy: "str | SearchStrategy" = "hill-climb",
                  budget: int = 16, seed: int = 0,
-                 fix_bank: Optional[object] = None):
+                 fix_bank: Optional[object] = None,
+                 phase_cache: Optional[object] = None):
         """``db=None`` keeps results in memory only (nothing persisted).
         ``measurer=None`` auto-selects by environment (compiled timing when
         a C compiler exists, interpreter operation counts otherwise;
         ``REPRO_TUNE_BACKEND`` overrides).  ``fix_bank`` (a
         :class:`~repro.cegis.fixbank.FixBank`) composes CEGIS-verified
         rewrites into :meth:`tuned_options` results, so the tuned winner
-        and the verified rewrite set ship together."""
+        and the verified rewrite set ship together.  ``phase_cache`` (a
+        :class:`~repro.pipeline.cache.PhaseCache`; ``None`` = the shared
+        process-wide one) memoizes Stage-1/lowering artifacts, so a
+        codegen-axis sweep rebuilds Stage 1 once instead of per point."""
         self.db = db
         self.fix_bank = fix_bank
         self.machine = machine or default_machine()
@@ -83,6 +87,7 @@ class Autotuner:
         self.strategy = make_strategy(strategy, seed=seed)
         self.budget = max(1, budget)
         self.seed = seed
+        self.phase_cache = phase_cache
 
     # -- tuning --------------------------------------------------------------
 
@@ -109,7 +114,7 @@ class Autotuner:
 
         builder = CandidateBuilder(
             program, options, self.machine, stage1_choices, codegen_variants,
-            nominal_flops=nominal_flops)
+            nominal_flops=nominal_flops, phase_cache=self.phase_cache)
         trials_meta: Dict[str, Dict[str, object]] = {}
         input_buffers: Dict[str, np.ndarray] = dict(inputs or {})
 

@@ -276,6 +276,25 @@ class TestVerifierAndLoop:
         assert counterexample is not None
         assert counterexample.seed == int(entry["seed"])
 
+    def test_cli_replay_reconstructs_trial_time_prefix(self, tmp_path,
+                                                       potrf_outcome,
+                                                       capsys):
+        """``replay`` must compose each refuted rewrite with the accepted
+        ids that preceded it in catalog order (what the loop actually
+        tried), not the full final accepted set -- under the latter a
+        first-in-catalog rewrite like tri-unit-diag can stop firing and
+        the banked counterexample is falsely reported stale."""
+        from repro.cegis.__main__ import main
+        request, outcome = potrf_outcome
+        bank = FixBank(root=str(tmp_path))
+        bank.put(outcome.key, outcome.to_record())
+        code = main(["--db", str(tmp_path), "replay", "potrf:4", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["stale"] == 0
+        statuses = {r["rewrite"]: r["status"] for r in doc["results"]}
+        assert statuses["tri-unit-diag"] == "refuted"
+
     def test_accepted_set_changes_and_preserves_the_kernel(self,
                                                            potrf_outcome):
         request, outcome = potrf_outcome

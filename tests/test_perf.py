@@ -67,12 +67,21 @@ class TestManifest:
             assert len(set(manifest.entry_ids())) == len(manifest.entries)
 
     def test_smoke_suite_matches_the_seed_grid(self):
-        # The smoke grid is deliberately the BENCH_seed.json grid, so
-        # migrated seed records land on the same entry ids.
+        # The smoke grid is deliberately the BENCH_seed.json grid (so
+        # migrated seed records land on the same entry ids) plus the
+        # warm-generation pseudo-entry.
         ids = suite("smoke").entry_ids()
         assert "potrf:4/numpy/untuned" in ids
         assert "gemm:8/compiled/untuned" in ids
-        assert len(ids) == 2 * 2 * 3
+        assert "potrf:8/pipeline/warm" in ids
+        assert len(ids) == 2 * 2 * 3 + 1
+
+    def test_pipeline_pseudo_entry_only_pairs_with_warm(self):
+        ManifestEntry(kernel="potrf:8", backend="pipeline", mode="warm")
+        with pytest.raises(PerfError, match="only combine"):
+            ManifestEntry(kernel="potrf:8", backend="pipeline")
+        with pytest.raises(PerfError, match="only combine"):
+            ManifestEntry(kernel="potrf:8", backend="numpy", mode="warm")
 
     def test_entry_validation(self):
         with pytest.raises(PerfError):
@@ -344,6 +353,18 @@ class TestRunner:
         assert compatibility_issues(record["env"], record["env"]) == []
         store.append(run.records)
         assert store.latest_run()[0] == run.run_id
+
+    def test_pipeline_entry_measures_warm_generation(self):
+        manifest = Manifest(name="gen", entries=[
+            ManifestEntry(kernel="potrf:4", backend="pipeline",
+                          mode="warm", repeats=2)])
+        run = run_manifest(manifest, validate=True)
+        record = run.records[0]
+        assert record["entry"] == "potrf:4/pipeline/warm"
+        assert record_is_valid(record)
+        assert record["applied"] is True     # warm passes hit every phase
+        assert record["correct"] is True     # warm C == cold C
+        assert record["median_seconds"] > 0
 
     def test_unknown_kernel_is_a_perf_error(self):
         manifest = Manifest(name="bad", entries=[

@@ -1,0 +1,289 @@
+"""Tests of the staged generation pipeline: phase keys, the artifact
+cache, cross-variant reuse, and the public API facade.
+
+The load-bearing properties:
+
+* the phase/option-axis partition covers every ``Options`` field exactly
+  once (a new field fails here until it is deliberately placed),
+* a codegen sweep whose variants share a blocking factor builds Stage 1
+  exactly once,
+* cached generation is byte-identical to cold generation,
+* the persistent layer quarantines corruption instead of raising, and
+* the builder's memo survives concurrent access.
+"""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.microarch import default_machine
+from repro.pipeline import keys
+from repro.pipeline.cache import (PersistentPhaseStore, PhaseCache,
+                                  PhaseTimings, reset_shared_phase_cache,
+                                  shared_phase_cache)
+from repro.pipeline.keys import (PHASE_AXES, PHASES, SEARCH_AXES,
+                                 assert_partition_complete)
+from repro.service.registry import build_case, parse_spec
+from repro.slingen.generator import CandidateBuilder, SLinGen
+from repro.slingen.options import Options
+
+
+def make_case(spec="potrf:4"):
+    return build_case(parse_spec(spec))
+
+
+def sweep_variants(count=8):
+    """``count`` codegen variants differing only in codegen axes (none
+    overrides the blocking factor, so all share one Stage-1 artifact)."""
+    from dataclasses import replace
+
+    from repro.lgen.tiling import CodegenVariant
+
+    base = CodegenVariant(vector_width=4)
+    pool = [
+        base,
+        replace(base, unroll_trip_count=4, unroll_body_limit=32),
+        replace(base, unroll_trip_count=16, unroll_body_limit=128),
+        replace(base, use_shuffle_transpose=False),
+        replace(base, scalar_replacement=False),
+        replace(base, load_store_analysis=False),
+        replace(base, unroll_trip_count=4, unroll_body_limit=32,
+                scalar_replacement=False),
+        replace(base, use_shuffle_transpose=False,
+                load_store_analysis=False),
+    ]
+    assert len(pool) >= count and \
+        all(v.block_size is None for v in pool)
+    return pool[:count]
+
+
+class TestKeyPartition:
+    def test_partition_is_complete(self):
+        # The real contract: every live Options field is assigned to
+        # exactly one phase (or is search-control).
+        assert_partition_complete()
+
+    def test_missing_axis_is_detected(self, monkeypatch):
+        trimmed = dict(PHASE_AXES)
+        trimmed["lower"] = tuple(a for a in trimmed["lower"]
+                                 if a != "vector_width")
+        monkeypatch.setattr(keys, "PHASE_AXES", trimmed)
+        with pytest.raises(ConfigurationError, match="unassigned"):
+            assert_partition_complete()
+
+    def test_duplicated_axis_is_detected(self, monkeypatch):
+        doubled = dict(PHASE_AXES)
+        doubled["optimize"] = doubled["optimize"] + ("vectorize",)
+        monkeypatch.setattr(keys, "PHASE_AXES", doubled)
+        with pytest.raises(ConfigurationError, match="more than one"):
+            assert_partition_complete()
+
+    def test_unknown_axis_is_detected(self, monkeypatch):
+        monkeypatch.setattr(keys, "SEARCH_AXES",
+                            SEARCH_AXES + ("no_such_option",))
+        with pytest.raises(ConfigurationError, match="naming no"):
+            assert_partition_complete()
+
+    def test_keys_chain_and_separate(self):
+        case = make_case()
+        a = keys.stage1_key(case.program, 4, {})
+        b = keys.stage1_key(case.program, 8, {})
+        assert a != b                       # block size keys Stage 1
+        ra = keys.rewrite_key(a, True, ())
+        rb = keys.rewrite_key(b, True, ())
+        assert ra != rb                     # parent key chains through
+        assert keys.rewrite_key(a, False, ()) != ra
+        la = keys.lower_key(ra, 4, True, "kernel", False)
+        assert keys.lower_key(ra, 8, True, "kernel", False) != la
+        oa = keys.optimize_key(la, True, 8, 64, True, True)
+        assert keys.optimize_key(la, False, 8, 64, True, True) != oa
+
+
+class TestPhaseCache:
+    def test_hit_miss_and_stats(self):
+        cache = PhaseCache()
+        assert cache.get("stage1", "k") is None
+        cache.put("stage1", "k", {"x": 1})
+        assert cache.get("stage1", "k") == {"x": 1}
+        stats = cache.stats()
+        assert stats["phases"]["stage1"] == \
+            {"hits": 1, "misses": 1, "puts": 1}
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        cache.reset_stats()
+        assert cache.stats()["misses"] == 0
+        cache.clear()
+        assert cache.get("stage1", "k") is None
+
+    def test_artifacts_are_shared_not_copied(self):
+        cache = PhaseCache()
+        artifact = {"big": list(range(8))}
+        cache.put("lower", "k", artifact)
+        assert cache.get("lower", "k") is artifact
+
+    def test_persistent_roundtrip_and_promotion(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path))
+        warm = PhaseCache(persistent=store)
+        warm.put("optimize", "a" * 64, {"payload": 7})
+        # A fresh process (new hot layer, same directory) hits on disk.
+        cold = PhaseCache(persistent=PersistentPhaseStore(str(tmp_path)))
+        assert cold.get("optimize", "a" * 64) == {"payload": 7}
+        assert cold.persistent.disk_hits == 1
+        # Promoted to the hot layer: the second get never touches disk.
+        assert cold.get("optimize", "a" * 64) == {"payload": 7}
+        assert cold.persistent.reads == 1
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path))
+        key = "b" * 64
+        store.put("stage1", key, {"ok": True})
+        path = store._path("stage1", key)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert store.get("stage1", key) is None
+        assert store.corrupt_dropped == 1
+        assert not os.path.exists(path)     # quarantined, not left to rot
+        # A non-pickle that *loads* but was torn mid-write also drops.
+        with open(path, "wb") as handle:
+            handle.write(pickle.dumps({"ok": True})[:-4])
+        assert store.get("stage1", key) is None
+        assert store.corrupt_dropped == 2
+
+    def test_shared_cache_reads_environment(self, tmp_path, monkeypatch):
+        reset_shared_phase_cache()
+        monkeypatch.setenv("REPRO_PHASE_CACHE", str(tmp_path))
+        try:
+            cache = shared_phase_cache()
+            assert cache is shared_phase_cache()    # one per process
+            assert cache.persistent is not None
+            assert cache.persistent.root == str(tmp_path)
+        finally:
+            reset_shared_phase_cache()
+
+    def test_timings_accumulate(self):
+        timings = PhaseTimings()
+        timings.record("stage1", 0.25, hit=False)
+        timings.record("stage1", 0.05, hit=True)
+        doc = timings.as_dict()
+        assert doc["stage1"]["calls"] == 2
+        assert doc["stage1"]["hits"] == 1
+        assert doc["stage1"]["seconds"] == pytest.approx(0.3)
+        assert timings.total_seconds == pytest.approx(0.3)
+
+
+class TestCrossVariantReuse:
+    def test_sweep_builds_stage1_exactly_once(self):
+        case = make_case()
+        cache = PhaseCache()
+        variants = sweep_variants(8)
+        builder = CandidateBuilder(case.program,
+                                   Options(vectorize=True,
+                                           annotate_code=False),
+                                   default_machine(), [{}], variants,
+                                   nominal_flops=case.nominal_flops,
+                                   phase_cache=cache)
+        for point in builder.space().points():
+            builder.candidate(point)
+        phases = cache.stats()["phases"]
+        assert phases["stage1"]["misses"] == 1
+        assert phases["stage1"]["hits"] == len(variants) - 1
+        # One rewrite too (same axes), and one optimize per variant.
+        assert phases["rewrite"]["misses"] == 1
+        assert phases["optimize"]["misses"] == len(variants)
+
+    def test_builder_memo_is_thread_safe(self):
+        case = make_case()
+        builder = CandidateBuilder(case.program,
+                                   Options(vectorize=True,
+                                           annotate_code=False),
+                                   default_machine(), [{}],
+                                   sweep_variants(4),
+                                   nominal_flops=case.nominal_flops,
+                                   phase_cache=PhaseCache())
+        points = list(builder.space().points())
+        results = [[] for _ in range(4)]
+
+        def sweep(bucket):
+            for point in points:
+                bucket.append(builder.candidate(point))
+
+        threads = [threading.Thread(target=sweep, args=(bucket,))
+                   for bucket in results]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every thread saw the same memoized candidate per point, and
+        # each point was built exactly once.
+        for bucket in results[1:]:
+            for first, mine in zip(results[0], bucket):
+                assert mine is first
+        assert len(builder.built) == len(points)
+
+
+#: Three registry workloads of different shapes (factorization, product,
+#: triangular solve) -- cold and cached generation must agree on bytes.
+CACHED_SPECS = ("potrf:4", "gemm:4", "trsm:4")
+
+
+class TestCachedGenerationIsIdentical:
+    @pytest.mark.parametrize("spec", CACHED_SPECS)
+    def test_warm_c_is_byte_identical(self, spec):
+        case = make_case(spec)
+        cache = PhaseCache()
+        generator = SLinGen(Options(vectorize=True, annotate_code=False),
+                            phase_cache=cache)
+        cold = generator.generate_result(case.program,
+                                         nominal_flops=case.nominal_flops)
+        warm = generator.generate_result(case.program,
+                                         nominal_flops=case.nominal_flops)
+        assert warm.c_code == cold.c_code
+        assert warm.function.statement_count() == \
+            cold.function.statement_count()
+        # The warm pass was served entirely from the cache.
+        stats = warm.phase_stats
+        assert stats is not None
+        for phase in PHASES:
+            assert stats[phase]["hits"] == stats[phase]["calls"]
+
+    def test_phase_timings_surface_in_summary(self):
+        case = make_case()
+        result = SLinGen(Options(vectorize=True, annotate_code=False),
+                         phase_cache=PhaseCache()).generate_result(
+            case.program, nominal_flops=case.nominal_flops)
+        phases = result.summary()["phases"]
+        for phase in PHASES:
+            assert set(phases[phase]) == {"calls", "hits", "seconds"}
+            assert phases[phase]["calls"] >= 1
+
+    def test_persistent_layer_survives_process_restart(self, tmp_path):
+        case = make_case()
+        options = Options(vectorize=True, annotate_code=False)
+        first = SLinGen(options, phase_cache=PhaseCache(
+            persistent=PersistentPhaseStore(str(tmp_path))))
+        cold = first.generate_result(case.program,
+                                     nominal_flops=case.nominal_flops)
+        # "Restart": a fresh hot layer over the same directory.
+        store = PersistentPhaseStore(str(tmp_path))
+        second = SLinGen(options, phase_cache=PhaseCache(persistent=store))
+        warm = second.generate_result(case.program,
+                                      nominal_flops=case.nominal_flops)
+        assert warm.c_code == cold.c_code
+        assert store.disk_hits > 0
+
+
+class TestApiFacade:
+    def test_every_public_name_resolves(self):
+        import repro.api as api
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_generates(self):
+        from repro.api import Options as ApiOptions
+        from repro.api import SLinGen as ApiSLinGen
+        case = make_case()
+        result = ApiSLinGen(ApiOptions(vectorize=False)).generate_result(
+            case.program)
+        assert "void" in result.c_code
