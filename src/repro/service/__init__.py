@@ -16,6 +16,10 @@ practice:
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` -- the
   HTTP serving daemon (``python -m repro.service serve``) and its
   stdlib JSON client,
+* :mod:`~repro.service.leases` -- cross-process single-flight: per-key
+  lockfile leases with owner/expiry stamps and stale-lease reaping,
+* :mod:`~repro.service.pool` -- the pre-forked multi-process worker pool
+  behind one listening socket (``serve --workers N``),
 * ``python -m repro.service`` -- CLI to warm, query, inspect, purge,
   and serve the cache.
 """
@@ -24,6 +28,8 @@ from .client import ServiceClient
 from .keys import (KEY_SCHEMA_VERSION, cache_key, canonical_options,
                    canonical_program, machine_fingerprint,
                    request_fingerprint)
+from .leases import Lease, LeaseManager
+from .pool import WorkerPool
 from .registry import (WorkloadSpec, build_case, default_sizes, make_request,
                        parse_spec, sweep_requests, workload_names)
 from .server import KernelServer
@@ -39,6 +45,7 @@ __all__ = [
     "parse_spec", "sweep_requests", "workload_names",
     "GenerationRequest", "KernelService", "ServiceResponse", "ServiceStats",
     "KernelServer", "ServiceClient",
+    "Lease", "LeaseManager", "WorkerPool",
     "DiskKernelStore", "KernelStore", "MemoryKernelStore",
     "default_cache_dir",
 ]

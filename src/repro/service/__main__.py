@@ -5,8 +5,10 @@ Usage (``PYTHONPATH=src python -m repro.service <command>``)::
     warm  [SPEC ...] [--scalar] [--no-autotune] [--workers N] [--serial]
     run   SPEC ... [--backend auto|compiled|numpy|interpreter]
                                     # generate (or hit) and actually execute
-    serve [--host H] [--port P] [--max-inflight N]
-                                    # long-running HTTP daemon (JSON API)
+    serve [--host H] [--port P] [--workers N] [--max-inflight N]
+          [--warm [SPEC ...]]       # long-running HTTP daemon (JSON API);
+                                    # --workers > 1 pre-forks a process pool
+                                    # with cross-process single-flight
     query SPEC ...                  # key + hit/miss, no generation
     ls    [--shards]                # list cached entries (or shard usage)
     stats                           # store statistics
@@ -101,9 +103,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=None,
                        help="TCP port (default: 8177; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes; > 1 pre-forks a pool "
+                            "sharing one listening socket (default: 1)")
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="concurrent generate/run requests admitted "
-                            "before answering 503 (default: 8)")
+                            "per worker before answering 503 (default: 8)")
+    serve.add_argument("--warm", nargs="*", default=None, metavar="SPEC",
+                       help="pre-generate workloads from the registry "
+                            "before accepting traffic (bare --warm warms "
+                            "every registered workload)")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="S",
+                       help="cross-process lease expiry in seconds "
+                            "(default: $REPRO_LEASE_TTL or 30)")
+    serve.add_argument("--lease-wait", type=float, default=None,
+                       metavar="S",
+                       help="seconds a follower waits to adopt another "
+                            "process's generation before generating "
+                            "itself (default: $REPRO_LEASE_WAIT or 120)")
+    serve.add_argument("--grace", type=float, default=10.0, metavar="S",
+                       help="seconds to let workers drain on shutdown "
+                            "before SIGKILL (default: 10)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     add_json_flag(serve, help="print the shutdown summary as JSON")
@@ -245,39 +266,91 @@ def _cmd_query(service: KernelService, args: argparse.Namespace) -> int:
     return EXIT_FAILURE if missing else EXIT_OK
 
 
-def _cmd_serve(service: KernelService, args: argparse.Namespace) -> int:
-    """Run the HTTP daemon until SIGINT/SIGTERM, then shut down cleanly."""
+def _cmd_serve(service: KernelService, args: argparse.Namespace,
+               make_service) -> int:
+    """Run the HTTP daemon until SIGINT/SIGTERM, then shut down cleanly.
+
+    ``--workers 1`` (the default) serves in-process; ``--workers N``
+    pre-forks a pool of N worker processes sharing one listening socket
+    (each built fresh by ``make_service``, so they share only the
+    on-disk store and its cross-process lease layer).
+    """
     import signal
     import threading
 
     from .server import DEFAULT_HOST, DEFAULT_PORT, KernelServer
 
-    server = KernelServer(
-        service,
-        host=args.host if args.host is not None else DEFAULT_HOST,
-        port=args.port if args.port is not None else DEFAULT_PORT,
-        max_inflight=args.max_inflight, quiet=args.quiet)
+    if args.workers < 1:
+        return fail(ReproError(f"--workers must be >= 1, "
+                               f"got {args.workers}"))
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
 
-    def _stop(signum, frame):
-        # shutdown() must not run on the serve_forever thread.
-        threading.Thread(target=server.shutdown, daemon=True).start()
+    if args.warm is not None:
+        # Warm before accepting traffic: workers then serve the warmed
+        # entries as disk hits from request one.
+        warmed = service.warm(args.warm or None)
+        print(f"warmed {warmed['warmed']} workloads "
+              f"({warmed['hits']} already cached)", flush=True)
 
+    if args.workers == 1:
+        server = KernelServer(service, host=host, port=port,
+                              max_inflight=args.max_inflight,
+                              quiet=args.quiet)
+
+        def _stop(signum, frame):
+            # shutdown() must not run on the serve_forever thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, _stop)
+        print(f"kernel service listening on {server.url} "
+              f"(workers=1, max-inflight={server.max_inflight}, "
+              f"cache={getattr(service.store, 'root', '<memory>')})",
+              flush=True)
+        server.serve_forever()
+        summary = service.stats.snapshot()
+        if args.as_json:
+            print_json({"stats": summary, "rejected": server.rejected})
+        else:
+            print(f"shut down after {summary['requests']} requests: "
+                  f"{summary['hits']} hits, "
+                  f"{summary['generations']} generated, "
+                  f"{summary['coalesced']} coalesced, "
+                  f"{server.rejected} rejected", flush=True)
+        return EXIT_OK
+
+    from .pool import WorkerPool
+
+    pool = WorkerPool(make_service, workers=args.workers, host=host,
+                      port=port, max_inflight=args.max_inflight,
+                      quiet=args.quiet, grace_s=args.grace)
+    pool.start()
+
+    def _stop_pool(signum, frame):
+        threading.Thread(target=pool.shutdown, daemon=True).start()
+
+    # Handlers go in *after* start(): the forked workers install their
+    # own SIGTERM drain handler first thing, and must never inherit one
+    # that tears down the whole pool from inside a child.
     for signum in (signal.SIGINT, signal.SIGTERM):
-        signal.signal(signum, _stop)
-    print(f"kernel service listening on {server.url} "
-          f"(max-inflight={server.max_inflight}, "
+        signal.signal(signum, _stop_pool)
+    print(f"kernel service listening on {pool.url} "
+          f"(workers={args.workers}, "
+          f"max-inflight={args.max_inflight} per worker, "
           f"cache={getattr(service.store, 'root', '<memory>')})",
           flush=True)
-    server.serve_forever()
-    summary = service.stats.snapshot()
+    pool.wait()
+    summary = pool.shutdown()  # idempotent; returns the drain summary
     if args.as_json:
-        print_json({"stats": summary, "rejected": server.rejected})
+        print_json({"pool": summary})
     else:
-        print(f"shut down after {summary['requests']} requests: "
-              f"{summary['hits']} hits, {summary['generations']} generated, "
-              f"{summary['coalesced']} coalesced, "
-              f"{server.rejected} rejected", flush=True)
-    return EXIT_OK
+        print(f"shut down pool of {summary['workers']} workers: "
+              f"{summary['restarts']} restarts, "
+              f"{summary['killed']} killed after grace, "
+              f"exit codes {summary['exit_codes']}", flush=True)
+    clean = all(code == 0 for code in summary["exit_codes"])
+    return EXIT_OK if clean and not summary["killed"] else EXIT_FAILURE
 
 
 def _cmd_ls(service: KernelService, args: argparse.Namespace) -> int:
@@ -337,25 +410,39 @@ def _cmd_purge(service: KernelService, args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    store = DiskKernelStore(root=args.cache_dir)
-    tuning_db = None
-    if args.tuned or args.tuning_db:
-        from ..tuning.db import TuningDB
-        tuning_db = TuningDB(root=args.tuning_db)
-    fix_bank = None
-    if args.verified or args.fixbank:
-        from ..cegis.fixbank import FixBank
-        fix_bank = FixBank(root=args.fixbank)
-    service = KernelService(store=store,
-                            max_workers=getattr(args, "workers", None),
-                            tuning_db=tuning_db, fix_bank=fix_bank)
+
+    def make_service() -> KernelService:
+        """One fresh service over the shared persistent stores.  The
+        worker pool calls this *inside each forked worker*, so locks,
+        stats, and hot layers are always per-process."""
+        store = DiskKernelStore(root=args.cache_dir)
+        tuning_db = None
+        if args.tuned or args.tuning_db:
+            from ..tuning.db import TuningDB
+            tuning_db = TuningDB(root=args.tuning_db)
+        fix_bank = None
+        if args.verified or args.fixbank:
+            from ..cegis.fixbank import FixBank
+            fix_bank = FixBank(root=args.fixbank)
+        leases = None
+        if args.command == "serve":
+            from .leases import LeaseManager
+            leases = LeaseManager.for_store(
+                store, ttl_s=args.lease_ttl, wait_s=args.lease_wait)
+        return KernelService(
+            store=store,
+            max_workers=getattr(args, "workers", None)
+            if args.command != "serve" else None,
+            tuning_db=tuning_db, fix_bank=fix_bank, leases=leases)
+
     try:
+        service = make_service()
         if args.command == "warm":
             return _cmd_warm(service, args)
         if args.command == "run":
             return _cmd_run(service, args)
         if args.command == "serve":
-            return _cmd_serve(service, args)
+            return _cmd_serve(service, args, make_service)
         if args.command == "query":
             return _cmd_query(service, args)
         if args.command == "ls":

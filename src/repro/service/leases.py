@@ -1,0 +1,363 @@
+"""Cross-process single-flight: per-key lockfile leases over the store.
+
+The in-process single-flight layer (:class:`~repro.service.service._SingleFlight`)
+collapses duplicate misses *within* one process; a pre-forked worker pool
+(:mod:`repro.service.pool`) runs many processes against one
+:class:`~repro.service.store.DiskKernelStore`, so a popular cold key would
+still be generated once per worker.  :class:`LeaseManager` extends the
+single-flight guarantee across processes with plain filesystem leases --
+no daemons, no sockets, nothing beyond the store's own directory tree.
+
+**Protocol.**  A lease for key ``k`` is the file
+``<root>/<k[:2]>/<k>.lease`` holding a JSON stamp::
+
+    {"pid": 4242, "host": "worker-1", "token": "...",
+     "acquired_at": 1700000000.0, "expires_at": 1700000030.0}
+
+Acquisition is atomic-with-content: the stamp is written to a private
+temp file and published with ``os.link`` (which fails if the lease
+already exists), so a reader never observes an empty or torn lease.  The
+winner generates and commits the artifact to the store, then releases.
+Followers poll: they adopt the artifact the moment the store serves it,
+and meanwhile watch the lease itself --
+
+* lease gone, no artifact: the holder released without publishing (or
+  crashed between unlink and commit); re-contend for the lease.
+* lease *stale* -- its stamp expired, or its owner pid is dead on this
+  host: reap it (see below) and re-contend, so a SIGKILLed worker never
+  wedges the key.
+* wait deadline exceeded: generate anyway.  The store's commit protocol
+  is atomic and results are a pure function of the key, so duplicated
+  generation is wasted work, never wrong data.  A lease can only slow a
+  request down; it can never make one fail.
+
+**Reaping** removes a lease we do not own, which races with the owner
+releasing and a third process acquiring.  To avoid deleting a *fresh*
+lease, removal is rename-then-verify: rename the lease to a unique name,
+check the renamed content is the stamp we decided was stale, and if we
+grabbed someone's fresh lease instead, put it back (or drop it if yet
+another lease has appeared -- the displaced owner still generates and
+publishes correctly; see the wedge-proof property above).
+
+Statistics (``acquired`` / ``adopted`` / ``reaped`` / ``wait_timeouts``
+/ ``released``) are kept per manager and surfaced on the daemon's
+``GET /stats`` under ``"leases"``.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import StoreError
+
+#: Default seconds a lease stays valid without being released.  Sized to
+#: comfortably exceed one generation (tens to hundreds of ms for paper
+#: workloads, seconds for tuned sweeps): expiry exists to recover from
+#: crashed holders, not to preempt live ones.
+DEFAULT_TTL_S = 30.0
+
+#: Default seconds a follower waits for the holder's artifact before
+#: giving up on coalescing and generating itself.
+DEFAULT_WAIT_S = 120.0
+
+ENV_LEASE_TTL = "REPRO_LEASE_TTL"
+ENV_LEASE_WAIT = "REPRO_LEASE_WAIT"
+
+#: Sub-directory of a kernel-store root that holds the lease tree.  Not a
+#: two-hex shard name and not a key name, so the store's migration scan,
+#: ``keys()``, and ``purge()`` all ignore it.
+LEASE_DIRNAME = ".leases"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A held lease: the proof of leadership for one key."""
+
+    key: str
+    path: str
+    token: str
+    expires_at: float
+
+
+class LeaseManager:
+    """Filesystem leases giving :class:`DiskKernelStore` users one
+    generation per key across any number of processes.
+
+    Thread-safe; one manager per service instance is the intended shape
+    (every worker process of a pool builds its own manager over the same
+    root).  ``ttl_s`` bounds how long a crashed holder can delay a key;
+    ``wait_s`` bounds how long a follower coalesces before falling back
+    to generating itself.
+    """
+
+    def __init__(self, root: str, ttl_s: Optional[float] = None,
+                 wait_s: Optional[float] = None,
+                 poll_interval_s: float = 0.02):
+        self.root = os.path.abspath(root)
+        self.ttl_s = ttl_s if ttl_s is not None \
+            else _env_float(ENV_LEASE_TTL, DEFAULT_TTL_S)
+        self.wait_s = wait_s if wait_s is not None \
+            else _env_float(ENV_LEASE_WAIT, DEFAULT_WAIT_S)
+        if self.ttl_s <= 0:
+            raise StoreError(f"lease ttl must be positive, got {self.ttl_s}")
+        if self.wait_s < 0:
+            raise StoreError(f"lease wait must be >= 0, got {self.wait_s}")
+        self.poll_interval_s = poll_interval_s
+        self.host = socket.gethostname()
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create lease root {self.root!r}: {exc}")
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "acquired": 0, "adopted": 0, "reaped": 0,
+            "wait_timeouts": 0, "released": 0}
+
+    @classmethod
+    def for_store(cls, store: object, **kwargs) -> "LeaseManager":
+        """The conventional manager for a disk store: leases live in
+        ``<store_root>/.leases``, invisible to the store's own scans."""
+        root = getattr(store, "root", None)
+        if not root:
+            raise StoreError(
+                f"{type(store).__name__} has no on-disk root; "
+                f"cross-process leases need a shared filesystem store")
+        return cls(os.path.join(root, LEASE_DIRNAME), **kwargs)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _note(self, counter: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += delta
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus configuration, JSON-able (``GET /stats``)."""
+        with self._lock:
+            doc: Dict[str, object] = dict(self._counters)
+        doc["root"] = self.root
+        doc["ttl_s"] = self.ttl_s
+        doc["wait_s"] = self.wait_s
+        return doc
+
+    # -- lease files ---------------------------------------------------------
+
+    def _lease_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.lease")
+
+    def _read_stamp(self, path: str) -> Optional[Dict[str, object]]:
+        """The stamp at ``path``, or None when absent/unreadable.  An
+        undecodable stamp (a torn write from a foreign implementation --
+        ours are linked atomically) is treated as expired-at-zero so it
+        gets reaped rather than wedging the key."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            stamp = json.loads(raw)
+            if not isinstance(stamp, dict):
+                raise ValueError(raw)
+        except ValueError:
+            return {"pid": -1, "host": "", "token": "<corrupt>",
+                    "acquired_at": 0.0, "expires_at": 0.0}
+        return stamp
+
+    def _is_stale(self, stamp: Dict[str, object]) -> bool:
+        try:
+            if time.time() > float(stamp.get("expires_at", 0.0)):
+                return True
+        except (TypeError, ValueError):
+            return True
+        # Same-host owners can be liveness-checked directly: a dead pid
+        # means a crashed worker and the lease is reapable *now*, without
+        # waiting out the ttl.
+        if stamp.get("host") == self.host:
+            try:
+                pid = int(stamp.get("pid", -1))
+            except (TypeError, ValueError):
+                return True
+            if pid <= 0:
+                return True
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except (PermissionError, OSError):
+                pass  # exists (or unknowable): not provably dead
+        return False
+
+    def _remove_if(self, path: str,
+                   should_remove: Callable[[Dict[str, object]], bool]
+                   ) -> bool:
+        """Atomically remove the lease at ``path`` iff its *current*
+        content satisfies ``should_remove`` (rename-then-verify; see the
+        module docstring).  Returns True when a lease was removed."""
+        staged = f"{path}.rm-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            os.replace(path, staged)
+        except OSError:
+            return False  # already gone, or being removed by someone else
+        stamp = self._read_stamp(staged)
+        if stamp is not None and should_remove(stamp):
+            try:
+                os.unlink(staged)
+            except OSError:
+                pass
+            return True
+        # We displaced a lease we must not remove: put it back unless a
+        # newer lease has already taken the slot (then the displaced
+        # holder simply loses coalescing, never correctness).
+        try:
+            os.link(staged, path)
+        except OSError:
+            pass
+        try:
+            os.unlink(staged)
+        except OSError:
+            pass
+        return False
+
+    # -- acquire / release ---------------------------------------------------
+
+    def try_acquire(self, key: str) -> Optional[Lease]:
+        """One non-blocking acquisition attempt (reaping a stale holder
+        counts as part of the attempt).  Returns the lease on success."""
+        path = self._lease_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        for attempt in range(2):
+            token = uuid.uuid4().hex
+            expires_at = time.time() + self.ttl_s
+            stamp = {"pid": os.getpid(), "host": self.host, "token": token,
+                     "acquired_at": time.time(), "expires_at": expires_at}
+            staged = f"{path}.new-{os.getpid()}-{token[:8]}"
+            with open(staged, "w", encoding="utf-8") as handle:
+                json.dump(stamp, handle)
+            try:
+                os.link(staged, path)
+            except OSError as exc:
+                if exc.errno not in (errno.EEXIST,):
+                    os.unlink(staged)
+                    raise StoreError(
+                        f"cannot create lease {path!r}: {exc}")
+                os.unlink(staged)
+                # Held.  Reap-and-retry once if the holder is stale.
+                current = self._read_stamp(path)
+                if (attempt == 0 and current is not None
+                        and self._is_stale(current)
+                        and self.reap(key, current)):
+                    continue
+                return None
+            else:
+                os.unlink(staged)
+                self._note("acquired")
+                return Lease(key=key, path=path, token=token,
+                             expires_at=expires_at)
+        return None
+
+    def release(self, lease: Lease) -> None:
+        """Give the key up.  Removes the lease file only when it is still
+        *ours* -- if we overstayed the ttl and were reaped, the file may
+        already belong to a successor and must be left alone."""
+        removed = self._remove_if(
+            lease.path,
+            lambda stamp: stamp.get("token") == lease.token)
+        if removed:
+            self._note("released")
+
+    def reap(self, key: str, stale_stamp: Dict[str, object]) -> bool:
+        """Remove ``key``'s lease if it still carries ``stale_stamp``'s
+        token and is still stale.  Returns True when reaped."""
+        removed = self._remove_if(
+            self._lease_path(key),
+            lambda stamp: (stamp.get("token") == stale_stamp.get("token")
+                           and self._is_stale(stamp)))
+        if removed:
+            self._note("reaped")
+        return removed
+
+    def holder(self, key: str) -> Optional[Dict[str, object]]:
+        """The current lease stamp for ``key`` (monitoring), or None."""
+        return self._read_stamp(self._lease_path(key))
+
+    # -- the single-flight orchestration ------------------------------------
+
+    def coalesce(self, key: str,
+                 probe: Callable[[], Optional[object]],
+                 generate: Callable[[], object]
+                 ) -> "tuple[object, bool]":
+        """Resolve one store miss with at most one generation across
+        processes.
+
+        ``probe`` re-checks the shared store (cheap, side-effect free as
+        far as this layer cares); ``generate`` runs the pipeline *and
+        commits the artifact to the store* before returning.  Returns
+        ``(result, adopted)`` where ``adopted`` is True when another
+        process's generation was reused.
+        """
+        deadline = time.monotonic() + self.wait_s
+        while True:
+            lease = self.try_acquire(key)
+            if lease is not None:
+                try:
+                    result = probe()
+                    if result is not None:
+                        # Published between our miss and our acquisition.
+                        self._note("adopted")
+                        return result, True
+                    return generate(), False
+                finally:
+                    self.release(lease)
+            outcome = self._follow(key, probe, deadline)
+            if outcome is not None:
+                return outcome, True
+            if time.monotonic() >= deadline:
+                # Wedge-proof fallback: duplicated work, correct result.
+                self._note("wait_timeouts")
+                return generate(), False
+            # Lease vanished or was reaped: loop and re-contend.
+
+    def _follow(self, key: str,
+                probe: Callable[[], Optional[object]],
+                deadline: float) -> Optional[object]:
+        """Wait for the current holder to publish.  Returns the adopted
+        artifact, or None when the caller should re-contend (lease gone
+        or reaped) or has run out of time (checked by the caller)."""
+        path = self._lease_path(key)
+        while time.monotonic() < deadline:
+            result = probe()
+            if result is not None:
+                self._note("adopted")
+                return result
+            stamp = self._read_stamp(path)
+            if stamp is None:
+                # Released (or crashed pre-commit): one last probe before
+                # re-contending, so a release-after-commit is adopted.
+                result = probe()
+                if result is not None:
+                    self._note("adopted")
+                    return result
+                return None
+            if self._is_stale(stamp):
+                self.reap(key, stamp)
+                return None
+            time.sleep(self.poll_interval_s)
+        return None

@@ -241,24 +241,48 @@ class KernelServer:
     ``max_inflight`` bounds concurrently *admitted* POST work; GETs
     (health, stats) are never gated so monitoring keeps working under
     load.
+
+    ``listen_socket`` adopts an already-bound, already-listening socket
+    instead of binding one -- the pre-forked worker pool
+    (:mod:`repro.service.pool`) binds once in the parent and every
+    worker process serves the inherited socket, so the kernel balances
+    accepted connections across workers.  ``worker_info`` (e.g.
+    ``{"index": 2, "pid": 4242}``) is stamped into ``/healthz`` and
+    ``/stats`` answers so a client can tell which pool member answered.
     """
 
     def __init__(self, service: Optional[KernelService] = None,
                  host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
-                 max_inflight: int = 8, quiet: bool = False):
+                 max_inflight: int = 8, quiet: bool = False,
+                 listen_socket=None,
+                 worker_info: Optional[Dict[str, object]] = None):
         if max_inflight < 1:
             raise ServiceError(
                 f"max_inflight must be >= 1, got {max_inflight}")
         self.service = service if service is not None else KernelService()
         self.max_inflight = max_inflight
         self.quiet = quiet
+        self.worker_info = dict(worker_info) if worker_info else None
         # Monotonic clock: uptime must not jump (or go negative) when NTP
         # steps the wall clock.
         self.started_at = time.monotonic()
         self.rejected = 0
         self._admission = threading.BoundedSemaphore(max_inflight)
         self._reject_lock = threading.Lock()
-        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        if listen_socket is not None:
+            # Adopt: construct without binding, swap the socket in, and
+            # fill the fields server_bind would have set.  getfqdn is
+            # deliberately avoided (it can stall on DNS in a worker).
+            address = listen_socket.getsockname()
+            self.httpd = ThreadingHTTPServer(
+                address[:2], _Handler, bind_and_activate=False)
+            self.httpd.socket.close()
+            self.httpd.socket = listen_socket
+            self.httpd.server_address = address[:2]
+            self.httpd.server_name = str(address[0])
+            self.httpd.server_port = int(address[1])
+        else:
+            self.httpd = ThreadingHTTPServer((host, port), _Handler)
         # Non-daemon handler threads: server_close() joins them, so the
         # graceful-shutdown promise (in-flight requests finish) is real
         # rather than racing process exit.
@@ -296,9 +320,13 @@ class KernelServer:
     # -- endpoint bodies -----------------------------------------------------
 
     def health_doc(self) -> Dict[str, object]:
-        return {"status": "ok",
-                "uptime_s": time.monotonic() - self.started_at,
-                "max_inflight": self.max_inflight}
+        doc: Dict[str, object] = {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self.started_at,
+            "max_inflight": self.max_inflight}
+        if self.worker_info is not None:
+            doc["worker"] = self.worker_info
+        return doc
 
     def stats_doc(self) -> Dict[str, object]:
         doc: Dict[str, object] = {
@@ -309,6 +337,14 @@ class KernelServer:
             },
             "service": self.service.stats.snapshot(),
         }
+        if self.worker_info is not None:
+            # Pre-forked pool: counters above are *this worker's*.  The
+            # kernel balances accepted connections, so repeated GETs
+            # sample the pool; sum per-pid samples for pool totals.
+            doc["worker"] = self.worker_info
+        leases = getattr(self.service, "leases", None)
+        if leases is not None:
+            doc["leases"] = leases.stats()
         store = self.service.store
         shard_stats = getattr(store, "shard_stats", None)
         if callable(shard_stats):

@@ -190,12 +190,17 @@ class ServiceStats:
         ``hit_latency_s`` / ``miss_latency_s`` -- summed wall-clock
         latency per outcome; ``mean_hit_latency_s`` /
         ``mean_miss_latency_s`` -- the per-request means (0.0 when the
-        denominator is zero).  The schema only grows; existing keys keep
-        their meaning (``GET /stats`` of the HTTP daemon exposes this dict
-        verbatim under ``"service"``).
+        denominator is zero); ``phase_cache`` -- hit/miss/put counters of
+        this process's shared :class:`~repro.pipeline.cache.PhaseCache`
+        (what generation work the staged pipeline memoized away), with a
+        ``per_phase`` breakdown.  The schema only grows; existing keys
+        keep their meaning (``GET /stats`` of the HTTP daemon exposes
+        this dict verbatim under ``"service"``).
         """
+        phase_cache = self._phase_cache_snapshot()
         with self._lock:
             return {
+                "phase_cache": phase_cache,
                 "requests": self.requests,
                 "hits": self.hits,
                 "misses": self.misses,
@@ -212,6 +217,21 @@ class ServiceStats:
                 "mean_miss_latency_s": (self.miss_latency_s / self.misses
                                         if self.misses else 0.0),
             }
+
+    @staticmethod
+    def _phase_cache_snapshot() -> Dict[str, object]:
+        """The shared phase cache's counters (this process only: a batch
+        miss generated in a ``generate_many`` subprocess hits that
+        worker's own cache, not this one)."""
+        from ..pipeline.cache import shared_phase_cache
+        stats = shared_phase_cache().stats()
+        return {
+            "hits": int(stats["hits"]),
+            "misses": int(stats["misses"]),
+            "puts": sum(int(counter["puts"])
+                        for counter in stats["phases"].values()),
+            "per_phase": stats["phases"],
+        }
 
 
 def _generate_payload(program: Program, options: Options,
@@ -270,7 +290,8 @@ class KernelService:
                  executor: str = "process",
                  tuning_db: Optional[object] = None,
                  fix_bank: Optional[object] = None,
-                 single_flight: bool = True):
+                 single_flight: bool = True,
+                 leases: Optional[object] = None):
         """``executor`` selects the miss pool for :meth:`generate_many`:
         ``"process"`` (default) gives true CPU parallelism for the
         pure-Python generation pipeline; ``"thread"`` avoids process spawn
@@ -297,7 +318,17 @@ class KernelService:
         ``single_flight=False`` disables the concurrent-miss coalescing of
         :meth:`generate` (every caller generates independently); it exists
         for tests and for measuring what coalescing buys
-        (``benchmarks/bench_concurrent_service.py``)."""
+        (``benchmarks/bench_concurrent_service.py``).
+
+        ``leases`` (a :class:`~repro.service.leases.LeaseManager`,
+        conventionally ``LeaseManager.for_store(store)``) extends
+        single-flight *across processes*: the in-process flight leader
+        additionally takes a per-key filesystem lease before generating,
+        so N worker processes of a pool (:mod:`repro.service.pool`)
+        hammering one cold key still cost exactly one generation --
+        followers adopt the winner's committed artifact (reported
+        ``coalesced``), and leases left by crashed processes are reaped.
+        Requires ``single_flight`` (the default)."""
         if executor not in ("thread", "process"):
             raise ServiceError(
                 f"executor must be 'thread' or 'process', got {executor!r}")
@@ -309,6 +340,11 @@ class KernelService:
         self.tuning_db = tuning_db
         self.fix_bank = fix_bank
         self.single_flight = single_flight
+        if leases is not None and not single_flight:
+            raise ServiceError(
+                "cross-process leases require single_flight=True "
+                "(the lease is taken by the in-process flight leader)")
+        self.leases = leases
         self.stats = ServiceStats()
         self._flight = _SingleFlight()
 
@@ -431,8 +467,18 @@ class KernelService:
             # miss and winning the flight: we shared its generation.
             coalesced = result is not None
             if result is None:
-                result = self._generate_and_store(key, request, options,
-                                                  tuned)
+                if self.leases is not None:
+                    # Cross-process single flight: take the per-key
+                    # filesystem lease (or adopt the holder's artifact).
+                    result, adopted = self.leases.coalesce(
+                        key,
+                        probe=lambda: self.store.get(key),
+                        generate=lambda: self._generate_and_store(
+                            key, request, options, tuned))
+                    coalesced = adopted
+                else:
+                    result = self._generate_and_store(key, request,
+                                                      options, tuned)
         except BaseException as exc:
             future.set_exception(exc)
             # The waiters hold the only other references; break the cycle

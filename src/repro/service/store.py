@@ -77,6 +77,11 @@ def default_cache_dir() -> str:
     return cache_root("REPRO_KERNEL_CACHE", "kernels")
 
 
+#: When set, every committed DiskKernelStore entry appends one JSON line
+#: here (see :meth:`DiskKernelStore.put`).
+ENV_STORE_JOURNAL = "REPRO_STORE_JOURNAL"
+
+
 class KernelStore(abc.ABC):
     """Abstract mapping from content keys to generation results."""
 
@@ -230,10 +235,23 @@ class DiskKernelStore(KernelStore):
     def __init__(self, root: Optional[str] = None,
                  max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
-                 hot_capacity: int = 32):
+                 hot_capacity: int = 32,
+                 journal: Optional[str] = None):
+        """``journal`` (default: ``$REPRO_STORE_JOURNAL``) names an
+        append-only file that receives one JSON line per *committed*
+        entry.  Unlike the entries themselves -- which overwrite, so a
+        re-generation of one key leaves no trace -- the journal is a
+        cross-process record of how many generations actually committed,
+        which is exactly what the multi-worker single-flight invariant
+        ("N processes, one cold key, one generation") is asserted
+        against in the benchmarks and the chaos tests."""
         self.root = os.path.abspath(root or default_cache_dir())
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        env_journal = os.environ.get(ENV_STORE_JOURNAL, "").strip()
+        self.journal = journal if journal is not None \
+            else (env_journal or None)
+        self.journal_writes = 0
         try:
             os.makedirs(self.root, exist_ok=True)
         except OSError as exc:
@@ -352,22 +370,55 @@ class DiskKernelStore(KernelStore):
     def put(self, key: str, result: GenerationResult,
             meta: Optional[Dict[str, object]] = None) -> None:
         entry = self._entry_dir(key)
-        os.makedirs(entry, exist_ok=True)
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         doc = _describe(key, result, meta)
         doc["payload_bytes"] = len(payload)
         doc["schema"] = _schema_version()
-        atomic_write_bytes(os.path.join(entry, self.CODE_NAME),
-                           result.c_code.encode("utf-8"))
-        atomic_write_bytes(os.path.join(entry, self.PAYLOAD_NAME),
-                           payload)
-        # meta.json last: it is the commit marker.
-        atomic_write_bytes(
-            os.path.join(entry, self.META_NAME),
-            json.dumps(doc, indent=2, sort_keys=True).encode("utf-8"))
+        # With many writer *processes* sharing the store, a concurrent
+        # LRU eviction (or purge) in another process can rmtree this
+        # entry directory between our makedirs and a staged write,
+        # surfacing as FileNotFoundError mid-commit.  Re-create and
+        # retry: the commit protocol itself (meta.json last, every file
+        # atomically replaced) keeps readers safe throughout.
+        for attempt in range(3):
+            try:
+                os.makedirs(entry, exist_ok=True)
+                atomic_write_bytes(os.path.join(entry, self.CODE_NAME),
+                                   result.c_code.encode("utf-8"))
+                atomic_write_bytes(os.path.join(entry, self.PAYLOAD_NAME),
+                                   payload)
+                # meta.json last: it is the commit marker.
+                atomic_write_bytes(
+                    os.path.join(entry, self.META_NAME),
+                    json.dumps(doc, indent=2,
+                               sort_keys=True).encode("utf-8"))
+                break
+            except FileNotFoundError:
+                if attempt == 2:
+                    raise
+        self._journal_append(key, doc)
         with self._lock:
             self._hot.insert(key, result)
         self._evict()
+
+    def _journal_append(self, key: str, doc: Dict[str, object]) -> None:
+        """One line per commit, append-only, cross-process (O_APPEND: a
+        single small write never interleaves on a local filesystem)."""
+        if not self.journal:
+            return
+        line = json.dumps({
+            "key": key, "pid": os.getpid(),
+            "program": doc.get("program"),
+            "created_at": doc.get("created_at"),
+        }, sort_keys=True) + "\n"
+        fd = os.open(self.journal,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        with self._lock:
+            self.journal_writes += 1
 
     def delete(self, key: str) -> bool:
         existed = os.path.exists(
@@ -548,6 +599,7 @@ class DiskKernelStore(KernelStore):
                 "evictions": self.evictions,
                 "migrated": self.migrated,
                 "corrupt_dropped": self.corrupt_dropped,
+                "journal_writes": self.journal_writes,
             }
 
 

@@ -122,6 +122,48 @@ class TestEndpoints:
         assert svc["requests"] == svc["hits"] + svc["misses"]
         assert svc["misses"] == svc["generations"] + svc["coalesced"]
         assert doc["store"]["backend"] == "memory"
+        # A single-process server exposes neither worker identity nor
+        # cross-process lease counters.
+        assert "worker" not in doc
+        assert "leases" not in doc
+
+    def test_stats_exposes_phase_cache_counters(self, client):
+        cold = json.loads(json.dumps(client.stats()))["service"]
+        client.generate(spec="potrf:4")
+        warm = client.stats()["service"]
+        for doc in (cold, warm):
+            cache = doc["phase_cache"]
+            for counter in ("hits", "misses", "puts"):
+                assert isinstance(cache[counter], int)
+                assert cache[counter] >= 0
+            assert isinstance(cache["per_phase"], dict)
+            for phase, counters in cache["per_phase"].items():
+                assert counters["hits"] + counters["misses"] >= 0
+        # The generation either ran the staged pipeline (puts grow) or
+        # reused memoized phases (hits grow); the counters cannot both
+        # stand still across a miss.
+        moved = (warm["phase_cache"]["puts"] > cold["phase_cache"]["puts"]
+                 or warm["phase_cache"]["hits"]
+                 > cold["phase_cache"]["hits"])
+        assert moved
+
+    def test_stats_worker_and_lease_blocks(self, tmp_path):
+        from repro.service import DiskKernelStore, LeaseManager
+        store = DiskKernelStore(root=str(tmp_path / "cache"))
+        service = KernelService(store=store, options=_options(),
+                                leases=LeaseManager.for_store(store))
+        with KernelServer(service, port=0, quiet=True,
+                          worker_info={"index": 3, "pid": 4242}) as live:
+            doc = live.stats_doc()
+            assert doc["worker"] == {"index": 3, "pid": 4242}
+            leases = doc["leases"]
+            for counter in ("acquired", "adopted", "reaped",
+                            "wait_timeouts", "released"):
+                assert isinstance(leases[counter], int)
+            assert leases["ttl_s"] > 0
+            assert leases["root"].endswith(".leases")
+            assert live.health_doc()["worker"]["index"] == 3
+            json.dumps(doc)  # the whole document must stay JSON-able
 
 
 class TestErrorPaths:
