@@ -1,0 +1,180 @@
+"""A small generic forward/backward dataflow solver over the CFG.
+
+Problems describe a semilattice of facts (here: frozensets) and a
+per-block transfer function; :func:`solve` iterates a worklist to the
+fixpoint and returns the ``(in, out)`` state of every block.  Two
+concrete problems ship with the verifier -- must-defined registers
+(forward, intersection meet) and live registers (backward, union meet)
+-- and the float32/size-generic work the ROADMAP plans will add its own
+problems on the same solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..cir.nodes import Assign, CExpr, CStmt, ScalarVar, Store, VecVar, VStore
+from .cfg import CFG, Block
+
+State = FrozenSet[str]
+BlockStates = Dict[int, Tuple[State, State]]
+
+
+class DataflowProblem:
+    """Base class: a set-valued dataflow problem over CFG blocks."""
+
+    #: ``"forward"`` or ``"backward"``
+    direction: str = "forward"
+
+    def boundary(self, cfg: CFG) -> State:
+        """State at the entry (forward) / exit (backward) block."""
+        raise NotImplementedError
+
+    def top(self, cfg: CFG) -> State:
+        """Optimistic initial state of every interior block."""
+        raise NotImplementedError
+
+    def meet(self, states: Iterable[State]) -> State:
+        raise NotImplementedError
+
+    def transfer(self, block: Block, state: State) -> State:
+        """State after (forward) / before (backward) the block."""
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> BlockStates:
+    """Iterate ``problem`` to its fixpoint; returns block id -> (in, out).
+
+    ``in`` is the state at the block's beginning and ``out`` at its end
+    in *program* order regardless of analysis direction, so callers can
+    replay statements forward from ``in`` (or backward from ``out``).
+    """
+    forward = problem.direction == "forward"
+    boundary_id = cfg.entry_id if forward else cfg.exit_id
+    edges_in = ((lambda b: b.preds) if forward else (lambda b: b.succs))
+
+    states: Dict[int, State] = {}
+    for block in cfg.blocks:
+        states[block.block_id] = problem.top(cfg)
+    states[boundary_id] = _through(problem, cfg.blocks[boundary_id],
+                                   problem.boundary(cfg))
+
+    order = cfg.topological_order()
+    if not forward:
+        order = list(reversed(order))
+    work: List[int] = list(order)
+    in_work = set(work)
+    while work:
+        bid = work.pop(0)
+        in_work.discard(bid)
+        block = cfg.blocks[bid]
+        incoming = [states[p] for p in edges_in(block)]
+        if incoming:
+            start = problem.meet(incoming)
+        elif bid == boundary_id:
+            start = problem.boundary(cfg)
+        else:
+            continue  # unreachable in the analysis direction
+        new_state = _through(problem, block, start)
+        if new_state != states[bid]:
+            states[bid] = new_state
+            targets = block.succs if forward else block.preds
+            for succ in targets:
+                if succ not in in_work:
+                    work.append(succ)
+                    in_work.add(succ)
+    result: BlockStates = {}
+    for block in cfg.blocks:
+        bid = block.block_id
+        incoming = [states[p] for p in edges_in(block)]
+        if incoming:
+            start = problem.meet(incoming)
+        elif bid == boundary_id:
+            start = problem.boundary(cfg)
+        else:
+            start = problem.top(cfg)
+        end = states[bid]
+        result[bid] = (start, end) if forward else (end, start)
+    return result
+
+
+def _through(problem: DataflowProblem, block: Block, state: State) -> State:
+    return problem.transfer(block, state)
+
+
+# ---------------------------------------------------------------------------
+# Register def/use extraction shared by the concrete problems
+# ---------------------------------------------------------------------------
+
+
+def expr_registers(expr: CExpr) -> FrozenSet[str]:
+    """Names of all registers read by ``expr``."""
+    return frozenset(node.name for node in expr.walk()
+                     if isinstance(node, (ScalarVar, VecVar)))
+
+
+def stmt_uses(stmt: CStmt) -> FrozenSet[str]:
+    """Registers read by a simple statement."""
+    if isinstance(stmt, (Assign, Store, VStore)):
+        return expr_registers(stmt.value)
+    return frozenset()
+
+
+def stmt_def(stmt: CStmt) -> FrozenSet[str]:
+    """Registers written by a simple statement."""
+    if isinstance(stmt, Assign):
+        return frozenset((stmt.dest.name,))
+    return frozenset()
+
+
+class MustDefined(DataflowProblem):
+    """Forward must-analysis: registers definitely assigned on all paths."""
+
+    direction = "forward"
+
+    def __init__(self, universe: FrozenSet[str]):
+        self.universe = universe
+
+    def boundary(self, cfg: CFG) -> State:
+        return frozenset()
+
+    def top(self, cfg: CFG) -> State:
+        return self.universe
+
+    def meet(self, states: Iterable[State]) -> State:
+        states = list(states)
+        result = states[0]
+        for state in states[1:]:
+            result = result & state
+        return result
+
+    def transfer(self, block: Block, state: State) -> State:
+        defined = set(state)
+        for stmt in block.stmts:
+            defined |= stmt_def(stmt)
+        return frozenset(defined)
+
+
+class LiveRegisters(DataflowProblem):
+    """Backward may-analysis: registers whose value may still be read."""
+
+    direction = "backward"
+
+    def boundary(self, cfg: CFG) -> State:
+        return frozenset()  # registers are dead at function exit
+
+    def top(self, cfg: CFG) -> State:
+        return frozenset()
+
+    def meet(self, states: Iterable[State]) -> State:
+        result: FrozenSet[str] = frozenset()
+        for state in states:
+            result = result | state
+        return result
+
+    def transfer(self, block: Block, state: State) -> State:
+        live = set(state)
+        for stmt in reversed(block.stmts):
+            live -= stmt_def(stmt)
+            live |= stmt_uses(stmt)
+        return frozenset(live)

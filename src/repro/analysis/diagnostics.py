@@ -1,0 +1,117 @@
+"""Diagnostics: the result type every static-analysis pass produces.
+
+A pass over a C-IR :class:`~repro.cir.nodes.Function` or a Stage-1
+:class:`~repro.ir.program.Program` returns a list of
+:class:`Diagnostic` records; the verifier concatenates them into one
+:class:`AnalysisReport` per artifact.  Two severities exist:
+
+``error``
+    The artifact is ill-formed: executing it would crash (out-of-bounds
+    access, use of an undefined register) or silently compute garbage
+    (reading a structurally-zero block, width-mismatched vector ops).
+    Strict gating turns these into :class:`~repro.errors.AnalysisError`.
+
+``warn``
+    The artifact is suspicious but executable (dead stores, double
+    writes, reads of implicitly-zero elements).  Warnings are surfaced
+    by ``python -m repro.analysis lint`` and the stats counters; they
+    never fail a gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+SEVERITIES = ("error", "warn")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Parameters
+    ----------
+    pass_name:
+        Short identifier of the producing pass (``bounds``, ``widths``,
+        ``defuse``, ``liveness``, ``structure``, ``alias``, ...).
+    severity:
+        ``"error"`` or ``"warn"``.
+    message:
+        Human-readable description, self-contained (includes names,
+        indices and extents).
+    location:
+        Best-effort anchor: a statement repr, loop context, or operand
+        name.  Empty when the finding is not tied to one site.
+    """
+
+    pass_name: str
+    severity: str
+    message: str
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"invalid severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def describe(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity}: {self.pass_name}: {self.message}{where}"
+
+    def to_json(self) -> Dict[str, str]:
+        return {"pass": self.pass_name, "severity": self.severity,
+                "message": self.message, "location": self.location}
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics of one verification run over one artifact."""
+
+    subject: str = ""
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def of(subject: str,
+           diagnostics: Sequence[Diagnostic]) -> "AnalysisReport":
+        return AnalysisReport(subject=subject,
+                              diagnostics=tuple(diagnostics))
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    @property
+    def ok(self) -> bool:
+        """True when the artifact is well-formed (no errors)."""
+        return not self.errors
+
+    def merged_with(self, other: "AnalysisReport") -> "AnalysisReport":
+        subject = self.subject or other.subject
+        return AnalysisReport(subject=subject,
+                              diagnostics=self.diagnostics +
+                              other.diagnostics)
+
+    def describe(self, include_warnings: bool = True) -> str:
+        lines: List[str] = []
+        for diag in self.diagnostics:
+            if diag.is_error or include_warnings:
+                lines.append(diag.describe())
+        head = (f"{self.subject}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)")
+        return "\n".join([head] + lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": [d.to_json() for d in self.errors],
+            "warnings": [d.to_json() for d in self.warnings],
+        }

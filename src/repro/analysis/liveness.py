@@ -1,0 +1,82 @@
+"""Dead-store and double-write lints from liveness.
+
+* **Dead register stores**: a backward liveness dataflow over the CFG;
+  an ``Assign`` whose destination is not live out of the statement is
+  work the optimizer should have removed (the DCE pass does exactly
+  this when enabled), reported as a warning.
+* **Double writes**: from the concrete element event stream, a buffer
+  element written twice with no intervening read of it -- the first
+  store is dead.  Also a warning: accumulation idioms always read
+  between stores, so legitimate code does not trip this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..cir.nodes import Assign, CStmt, Function
+from .cfg import build_cfg
+from .dataflow import LiveRegisters, solve, stmt_def, stmt_uses
+from .defuse import element_events
+from .diagnostics import Diagnostic
+
+PASS = "liveness"
+
+
+def check_dead_registers(fn: Function) -> List[Diagnostic]:
+    """Assignments whose destination register is never read afterwards."""
+    cfg = build_cfg(fn.body)
+    states = solve(cfg, LiveRegisters())
+    diags: List[Diagnostic] = []
+    reported: Set[str] = set()
+    reachable = cfg.reachable_ids()
+    for block in cfg.blocks:
+        if block.block_id not in reachable:
+            continue
+        live = set(states[block.block_id][1])  # live-out of the block
+        for stmt in reversed(block.stmts):
+            if isinstance(stmt, Assign):
+                name = stmt.dest.name
+                if name not in live and name not in reported:
+                    reported.add(name)
+                    diags.append(Diagnostic(
+                        PASS, "warn",
+                        f"dead store: register {name!r} is assigned but "
+                        f"never read afterwards", _location(stmt)))
+            live -= stmt_def(stmt)
+            live |= stmt_uses(stmt)
+    return diags
+
+
+def check_double_writes(fn: Function) -> List[Diagnostic]:
+    """Buffer elements overwritten with no intervening read."""
+    last_write: Dict[Tuple[str, int], CStmt] = {}
+    diags: List[Diagnostic] = []
+    # Deduplicate per statement pair: one vector store overwriting four
+    # lanes of another is one finding, not four.
+    reported: Set[Tuple[str, str]] = set()
+    stream, status = element_events(fn)
+    for kind, name, at, stmt in stream:
+        key = (name, at)
+        if kind == "read":
+            last_write.pop(key, None)
+        else:
+            previous = last_write.get(key)
+            if previous is not None:
+                pair = (_location(previous), _location(stmt))
+                if pair not in reported:
+                    reported.add(pair)
+                    diags.append(Diagnostic(
+                        PASS, "warn",
+                        f"double write: {name}[{at}] is overwritten "
+                        f"before the earlier store ({pair[0]}) is read",
+                        pair[1]))
+            last_write[key] = stmt
+    if not status.complete:
+        return []  # truncated trace: orderings beyond the budget unknown
+    return diags
+
+
+def _location(stmt: CStmt) -> str:
+    text = repr(stmt)
+    return text if len(text) <= 96 else text[:93] + "..."

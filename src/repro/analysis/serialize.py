@@ -1,0 +1,448 @@
+"""JSON codec for analysis fixtures: LA programs and C-IR functions.
+
+The witness fixtures under ``tests/analysis_witnesses/`` are committed
+JSON documents the CLI can sweep (``python -m repro.analysis check
+tests/analysis_witnesses/*.json``) without importing test code.  The
+codec is intentionally plain -- one dict per node, dispatch on a
+``"kind"``/node-type tag -- and round-trips exactly the constructs the
+two artifact levels use.  It is also handy for dumping a failing
+artifact out of the gate for offline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from ..cir import nodes as cir
+from ..errors import AnalysisError
+from ..ir import expr as la_expr
+from ..ir.operands import IOType, Operand, View
+from ..ir.program import Assign, Equation, ForLoop, Program, Statement
+from ..ir.properties import Properties
+
+FIXTURE_SCHEMA_VERSION = 1
+
+Doc = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# LA / Stage-1 programs
+# ---------------------------------------------------------------------------
+
+
+def _operand_doc(op: Operand) -> Doc:
+    return {
+        "name": op.name,
+        "rows": op.rows,
+        "cols": op.cols,
+        "io": op.io.name,
+        "properties": sorted(op.properties.annotation_names()),
+        "overwrites": op.overwrites,
+    }
+
+
+def _operand_from(doc: Doc) -> Operand:
+    return Operand(name=doc["name"], rows=int(doc["rows"]),
+                   cols=int(doc["cols"]), io=IOType[doc["io"]],
+                   properties=Properties.from_annotations(
+                       doc.get("properties", [])),
+                   overwrites=doc.get("overwrites"))
+
+
+def _view_doc(view: View) -> Doc:
+    return {"operand": view.operand.name, "row_off": view.row_off,
+            "col_off": view.col_off, "rows": view.rows, "cols": view.cols}
+
+
+def _view_from(doc: Doc, operands: Dict[str, Operand]) -> View:
+    try:
+        operand = operands[doc["operand"]]
+    except KeyError:
+        raise AnalysisError(f"fixture references undeclared operand "
+                            f"{doc['operand']!r}")
+    return View(operand=operand, row_off=int(doc["row_off"]),
+                col_off=int(doc["col_off"]), rows=int(doc["rows"]),
+                cols=int(doc["cols"]))
+
+
+def _expr_doc(expr: la_expr.Expr) -> Doc:
+    if isinstance(expr, la_expr.Ref):
+        return {"node": "ref", "view": _view_doc(expr.view)}
+    if isinstance(expr, la_expr.Const):
+        return {"node": "const", "value": expr.value,
+                "rows": expr.rows, "cols": expr.cols}
+    if isinstance(expr, la_expr._Unary):
+        return {"node": type(expr).__name__.lower(),
+                "child": _expr_doc(expr.child)}
+    if isinstance(expr, la_expr._Binary):
+        return {"node": type(expr).__name__.lower(),
+                "left": _expr_doc(expr.left),
+                "right": _expr_doc(expr.right)}
+    raise AnalysisError(f"cannot serialize expression {expr!r}")
+
+
+_UNARY = {"transpose": la_expr.Transpose, "neg": la_expr.Neg,
+          "sqrt": la_expr.Sqrt, "inverse": la_expr.Inverse}
+_BINARY = {"add": la_expr.Add, "sub": la_expr.Sub, "mul": la_expr.Mul,
+           "div": la_expr.Div}
+
+
+def _expr_from(doc: Doc, operands: Dict[str, Operand]) -> la_expr.Expr:
+    node = doc["node"]
+    if node == "ref":
+        return la_expr.Ref(_view_from(doc["view"], operands))
+    if node == "const":
+        return la_expr.Const(float(doc["value"]), int(doc.get("rows", 1)),
+                             int(doc.get("cols", 1)))
+    if node in _UNARY:
+        return _UNARY[node](_expr_from(doc["child"], operands))
+    if node in _BINARY:
+        return _BINARY[node](_expr_from(doc["left"], operands),
+                             _expr_from(doc["right"], operands))
+    raise AnalysisError(f"unknown expression node {node!r} in fixture")
+
+
+def _statement_doc(stmt: Statement) -> Doc:
+    if isinstance(stmt, Assign):
+        return {"node": "assign", "lhs": _view_doc(stmt.lhs),
+                "rhs": _expr_doc(stmt.rhs)}
+    if isinstance(stmt, Equation):
+        return {"node": "equation", "lhs": _expr_doc(stmt.lhs),
+                "rhs": _expr_doc(stmt.rhs)}
+    if isinstance(stmt, ForLoop):
+        return {"node": "for", "var": stmt.var, "start": stmt.start,
+                "stop": stmt.stop, "step": stmt.step,
+                "body": [_statement_doc(s) for s in stmt.body]}
+    raise AnalysisError(f"cannot serialize statement {stmt!r}")
+
+
+def _statement_from(doc: Doc, operands: Dict[str, Operand]) -> Statement:
+    node = doc["node"]
+    if node == "assign":
+        return Assign(_view_from(doc["lhs"], operands),
+                      _expr_from(doc["rhs"], operands))
+    if node == "equation":
+        return Equation(_expr_from(doc["lhs"], operands),
+                        _expr_from(doc["rhs"], operands))
+    if node == "for":
+        return ForLoop(var=doc["var"], start=int(doc["start"]),
+                       stop=int(doc["stop"]), step=int(doc["step"]),
+                       body=[_statement_from(s, operands)
+                             for s in doc["body"]])
+    raise AnalysisError(f"unknown statement node {node!r} in fixture")
+
+
+def program_to_doc(program: Program) -> Doc:
+    return {
+        "schema": FIXTURE_SCHEMA_VERSION,
+        "kind": "program",
+        "name": program.name,
+        "constants": dict(program.constants),
+        "operands": [_operand_doc(op) for op in
+                     program.operands.values()],
+        "statements": [_statement_doc(s) for s in program.statements],
+    }
+
+
+def program_from_doc(doc: Doc) -> Program:
+    program = Program(name=doc["name"],
+                      constants={k: int(v) for k, v in
+                                 doc.get("constants", {}).items()})
+    for op_doc in doc["operands"]:
+        program.declare(_operand_from(op_doc))
+    for stmt_doc in doc["statements"]:
+        program.add(_statement_from(stmt_doc, program.operands))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# C-IR functions
+# ---------------------------------------------------------------------------
+
+
+def _affine_doc(affine: cir.Affine) -> Doc:
+    return {"terms": [[name, coef] for name, coef in affine.terms],
+            "const": affine.const}
+
+
+def _affine_from(doc: Doc) -> cir.Affine:
+    return cir.Affine(tuple((str(n), int(c)) for n, c in
+                            doc.get("terms", [])), int(doc.get("const", 0)))
+
+
+def _buffer_doc(buf: cir.Buffer) -> Doc:
+    return {"name": buf.name, "rows": buf.rows, "cols": buf.cols,
+            "kind": buf.kind}
+
+
+def _cexpr_doc(expr: cir.CExpr) -> Doc:
+    if isinstance(expr, cir.FloatConst):
+        return {"node": "float", "value": expr.value}
+    if isinstance(expr, cir.ScalarVar):
+        return {"node": "svar", "name": expr.name}
+    if isinstance(expr, cir.VecVar):
+        return {"node": "vvar", "name": expr.name, "width": expr.width}
+    if isinstance(expr, cir.Load):
+        return {"node": "load", "buffer": expr.buffer.name,
+                "index": _affine_doc(expr.index)}
+    if isinstance(expr, cir.VLoad):
+        return {"node": "vload", "buffer": expr.buffer.name,
+                "index": _affine_doc(expr.index), "width": expr.width,
+                "mask": list(expr.mask) if expr.mask is not None else None}
+    if isinstance(expr, cir.VBroadcast):
+        return {"node": "vbroadcast", "value": _cexpr_doc(expr.value),
+                "width": expr.width}
+    if isinstance(expr, cir.VSet):
+        return {"node": "vset",
+                "elements": [_cexpr_doc(e) for e in expr.elements]}
+    if isinstance(expr, cir.VZero):
+        return {"node": "vzero", "width": expr.width}
+    if isinstance(expr, cir.BinOp):
+        return {"node": "binop", "op": expr.op,
+                "left": _cexpr_doc(expr.left),
+                "right": _cexpr_doc(expr.right)}
+    if isinstance(expr, cir.UnOp):
+        return {"node": "unop", "op": expr.op,
+                "operand": _cexpr_doc(expr.operand)}
+    if isinstance(expr, cir.VBinOp):
+        return {"node": "vbinop", "op": expr.op,
+                "left": _cexpr_doc(expr.left),
+                "right": _cexpr_doc(expr.right), "width": expr.width}
+    if isinstance(expr, cir.VFma):
+        return {"node": "vfma", "a": _cexpr_doc(expr.a),
+                "b": _cexpr_doc(expr.b), "c": _cexpr_doc(expr.c),
+                "width": expr.width}
+    if isinstance(expr, cir.VReduceAdd):
+        return {"node": "vreduce", "vec": _cexpr_doc(expr.vec)}
+    if isinstance(expr, cir.VExtract):
+        return {"node": "vextract", "vec": _cexpr_doc(expr.vec),
+                "lane": expr.lane}
+    if isinstance(expr, cir.VBlend):
+        return {"node": "vblend", "a": _cexpr_doc(expr.a),
+                "b": _cexpr_doc(expr.b), "imm": expr.imm,
+                "width": expr.width}
+    if isinstance(expr, cir.VShufflePd):
+        return {"node": "vshuffle", "a": _cexpr_doc(expr.a),
+                "b": _cexpr_doc(expr.b), "imm": expr.imm,
+                "width": expr.width}
+    if isinstance(expr, cir.VPermute2f128):
+        return {"node": "vperm2f128", "a": _cexpr_doc(expr.a),
+                "b": _cexpr_doc(expr.b), "imm": expr.imm,
+                "width": expr.width}
+    if isinstance(expr, cir.VUnpack):
+        return {"node": "vunpack", "a": _cexpr_doc(expr.a),
+                "b": _cexpr_doc(expr.b), "high": expr.high,
+                "width": expr.width}
+    raise AnalysisError(f"cannot serialize C-IR expression {expr!r}")
+
+
+def _cexpr_from(doc: Doc, buffers: Dict[str, cir.Buffer]) -> cir.CExpr:
+    node = doc["node"]
+    if node == "float":
+        return cir.FloatConst(float(doc["value"]))
+    if node == "svar":
+        return cir.ScalarVar(doc["name"])
+    if node == "vvar":
+        return cir.VecVar(doc["name"], int(doc.get("width", 4)))
+    if node == "load":
+        return cir.Load(_buffer(buffers, doc["buffer"]),
+                        _affine_from(doc["index"]))
+    if node == "vload":
+        mask = doc.get("mask")
+        return cir.VLoad(_buffer(buffers, doc["buffer"]),
+                         _affine_from(doc["index"]),
+                         int(doc.get("width", 4)),
+                         tuple(bool(b) for b in mask)
+                         if mask is not None else None)
+    if node == "vbroadcast":
+        return cir.VBroadcast(_cexpr_from(doc["value"], buffers),
+                              int(doc.get("width", 4)))
+    if node == "vset":
+        return cir.VSet(tuple(_cexpr_from(e, buffers)
+                              for e in doc["elements"]))
+    if node == "vzero":
+        return cir.VZero(int(doc.get("width", 4)))
+    if node == "binop":
+        return cir.BinOp(doc["op"], _cexpr_from(doc["left"], buffers),
+                         _cexpr_from(doc["right"], buffers))
+    if node == "unop":
+        return cir.UnOp(doc["op"], _cexpr_from(doc["operand"], buffers))
+    if node == "vbinop":
+        return cir.VBinOp(doc["op"], _cexpr_from(doc["left"], buffers),
+                          _cexpr_from(doc["right"], buffers),
+                          int(doc.get("width", 4)))
+    if node == "vfma":
+        return cir.VFma(_cexpr_from(doc["a"], buffers),
+                        _cexpr_from(doc["b"], buffers),
+                        _cexpr_from(doc["c"], buffers),
+                        int(doc.get("width", 4)))
+    if node == "vreduce":
+        return cir.VReduceAdd(_cexpr_from(doc["vec"], buffers))
+    if node == "vextract":
+        return cir.VExtract(_cexpr_from(doc["vec"], buffers),
+                            int(doc["lane"]))
+    if node == "vblend":
+        return cir.VBlend(_cexpr_from(doc["a"], buffers),
+                          _cexpr_from(doc["b"], buffers), int(doc["imm"]),
+                          int(doc.get("width", 4)))
+    if node == "vshuffle":
+        return cir.VShufflePd(_cexpr_from(doc["a"], buffers),
+                              _cexpr_from(doc["b"], buffers),
+                              int(doc["imm"]), int(doc.get("width", 4)))
+    if node == "vperm2f128":
+        return cir.VPermute2f128(_cexpr_from(doc["a"], buffers),
+                                 _cexpr_from(doc["b"], buffers),
+                                 int(doc["imm"]), int(doc.get("width", 4)))
+    if node == "vunpack":
+        return cir.VUnpack(_cexpr_from(doc["a"], buffers),
+                           _cexpr_from(doc["b"], buffers),
+                           bool(doc["high"]), int(doc.get("width", 4)))
+    raise AnalysisError(f"unknown C-IR expression node {node!r} in fixture")
+
+
+def _buffer(buffers: Dict[str, cir.Buffer], name: str) -> cir.Buffer:
+    try:
+        return buffers[name]
+    except KeyError:
+        raise AnalysisError(f"fixture references undeclared buffer {name!r}")
+
+
+def _cstmt_doc(stmt: cir.CStmt) -> Doc:
+    if isinstance(stmt, cir.Assign):
+        return {"node": "assign", "dest": _cexpr_doc(stmt.dest),
+                "value": _cexpr_doc(stmt.value)}
+    if isinstance(stmt, cir.Store):
+        return {"node": "store", "buffer": stmt.buffer.name,
+                "index": _affine_doc(stmt.index),
+                "value": _cexpr_doc(stmt.value)}
+    if isinstance(stmt, cir.VStore):
+        return {"node": "vstore", "buffer": stmt.buffer.name,
+                "index": _affine_doc(stmt.index),
+                "value": _cexpr_doc(stmt.value), "width": stmt.width,
+                "mask": list(stmt.mask) if stmt.mask is not None else None}
+    if isinstance(stmt, cir.For):
+        return {"node": "for", "var": stmt.var, "start": stmt.start,
+                "stop": stmt.stop, "step": stmt.step,
+                "body": [_cstmt_doc(s) for s in stmt.body]}
+    if isinstance(stmt, cir.If):
+        return {"node": "if", "lhs": _affine_doc(stmt.lhs), "op": stmt.op,
+                "rhs": _affine_doc(stmt.rhs),
+                "then": [_cstmt_doc(s) for s in stmt.then_body],
+                "else": [_cstmt_doc(s) for s in stmt.else_body]}
+    if isinstance(stmt, cir.Comment):
+        return {"node": "comment", "text": stmt.text}
+    raise AnalysisError(f"cannot serialize C-IR statement {stmt!r}")
+
+
+def _cstmt_from(doc: Doc, buffers: Dict[str, cir.Buffer]) -> cir.CStmt:
+    node = doc["node"]
+    if node == "assign":
+        dest = _cexpr_from(doc["dest"], buffers)
+        if not isinstance(dest, (cir.ScalarVar, cir.VecVar)):
+            raise AnalysisError("assign destination must be a register")
+        return cir.Assign(dest, _cexpr_from(doc["value"], buffers))
+    if node == "store":
+        return cir.Store(_buffer(buffers, doc["buffer"]),
+                         _affine_from(doc["index"]),
+                         _cexpr_from(doc["value"], buffers))
+    if node == "vstore":
+        mask = doc.get("mask")
+        return cir.VStore(_buffer(buffers, doc["buffer"]),
+                          _affine_from(doc["index"]),
+                          _cexpr_from(doc["value"], buffers),
+                          int(doc.get("width", 4)),
+                          tuple(bool(b) for b in mask)
+                          if mask is not None else None)
+    if node == "for":
+        return cir.For(var=doc["var"], start=int(doc["start"]),
+                       stop=int(doc["stop"]), step=int(doc["step"]),
+                       body=[_cstmt_from(s, buffers) for s in doc["body"]])
+    if node == "if":
+        return cir.If(lhs=_affine_from(doc["lhs"]), op=doc["op"],
+                      rhs=_affine_from(doc["rhs"]),
+                      then_body=[_cstmt_from(s, buffers)
+                                 for s in doc.get("then", [])],
+                      else_body=[_cstmt_from(s, buffers)
+                                 for s in doc.get("else", [])])
+    if node == "comment":
+        return cir.Comment(doc["text"])
+    raise AnalysisError(f"unknown C-IR statement node {node!r} in fixture")
+
+
+def function_to_doc(fn: cir.Function) -> Doc:
+    return {
+        "schema": FIXTURE_SCHEMA_VERSION,
+        "kind": "function",
+        "name": fn.name,
+        "vector_width": fn.vector_width,
+        "params": [_buffer_doc(b) for b in fn.params],
+        "temps": [_buffer_doc(b) for b in fn.temps],
+        "body": [_cstmt_doc(s) for s in fn.body],
+    }
+
+
+def function_from_doc(doc: Doc) -> cir.Function:
+    buffers: Dict[str, cir.Buffer] = {}
+    params: List[cir.Buffer] = []
+    temps: List[cir.Buffer] = []
+    for buf_doc, target in ([(b, params) for b in doc.get("params", [])] +
+                            [(b, temps) for b in doc.get("temps", [])]):
+        buf = cir.Buffer(name=buf_doc["name"], rows=int(buf_doc["rows"]),
+                         cols=int(buf_doc["cols"]), kind=buf_doc["kind"])
+        buffers[buf.name] = buf
+        target.append(buf)
+    body = [_cstmt_from(s, buffers) for s in doc.get("body", [])]
+    return cir.Function(name=doc["name"], params=params, temps=temps,
+                        body=body, vector_width=int(doc["vector_width"]))
+
+
+# ---------------------------------------------------------------------------
+# Fixture files
+# ---------------------------------------------------------------------------
+
+
+def artifact_to_doc(artifact: Union[Program, cir.Function]) -> Doc:
+    if isinstance(artifact, Program):
+        return program_to_doc(artifact)
+    if isinstance(artifact, cir.Function):
+        return function_to_doc(artifact)
+    raise AnalysisError(
+        f"cannot serialize artifact of type {type(artifact).__name__}")
+
+
+def artifact_from_doc(doc: Doc) -> Union[Program, cir.Function]:
+    schema = doc.get("schema")
+    if schema != FIXTURE_SCHEMA_VERSION:
+        raise AnalysisError(f"unsupported fixture schema {schema!r} "
+                            f"(expected {FIXTURE_SCHEMA_VERSION})")
+    kind = doc.get("kind")
+    if kind == "program":
+        return program_from_doc(doc)
+    if kind == "function":
+        return function_from_doc(doc)
+    raise AnalysisError(f"unknown fixture kind {kind!r}")
+
+
+def dump_fixture(artifact: Union[Program, cir.Function], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact_to_doc(artifact), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def load_fixture(path: str) -> Union[Program, cir.Function]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot load fixture {path!r}: {exc}")
+    if not isinstance(doc, dict):
+        raise AnalysisError(f"fixture {path!r} is not a JSON object")
+    try:
+        return artifact_from_doc(doc)
+    except AnalysisError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AnalysisError(
+            f"fixture {path!r} is malformed: {type(exc).__name__}: {exc}")

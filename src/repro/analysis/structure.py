@@ -1,0 +1,230 @@
+"""Structure and alias/overlap checks over LA and Stage-1 programs.
+
+These are the *mathematical-level* passes -- they run on the
+:class:`~repro.ir.program.Program` artifacts of the ``stage1`` and
+``rewrite`` phases, where operand structure (triangular, symmetric,
+``ow()`` overlays) is still visible.
+
+* **Degenerate assignments** (error).  An ``Assign`` whose right-hand
+  side is *structurally identically zero* -- a product with a
+  structurally-zero factor, a negation of one, ... -- while its
+  destination lies in the nonzero region of its operand.  The statement
+  can only ever store zeros where the algorithm plainly meant a
+  computed value.  This is exactly the shape of the historical
+  ``inv(T')`` miscompile: the transposed-triangular expansion read its
+  coefficient at the *untransposed* offset, below the diagonal of the
+  upper-triangular input, collapsing the whole product to zero.
+
+* **Structural division by zero** (error).  A ``Div`` whose denominator
+  is structurally zero divides by a value that is zero on every input.
+
+* **Structurally-zero writes** (error).  Writing into the zero half of
+  a triangular output corrupts the storage contract the oracle checks.
+
+* **Structurally-zero reads** (warning).  Reading the zero half of a
+  structured operand is well-defined (those elements are materialized
+  as zeros) and generic block recurrences legitimately do it, e.g.
+  subtracting a zero RHS block -- but it is worth surfacing in lint
+  output since stray reads sometimes indicate offset bugs that do not
+  collapse the full expression.
+
+* **Non-stored-half writes** (warning).  For ``UpSym``/``LoSym``
+  outputs the storage annotation says which half is authoritative;
+  writing only the other half is suspicious.
+
+* **Overlay aliasing** (error).  Operands joined by ``ow(...)`` chains
+  share one buffer.  Within a single statement, a write view and a read
+  view of the same storage group must either coincide exactly (the
+  designed read-modify-write of ``ow``) or be disjoint; a *partial*
+  overlap makes the lowering read elements the same statement is
+  overwriting at a different offset -- a symbolic version of the
+  overlap hazards the fuzz oracle can only catch dynamically.
+
+* **Name-level def-before-use** re-runs ``Program.validate()`` so the
+  gate subsumes the frontend check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import LASemanticError
+from ..ir.expr import (Add, Const, Div, Expr, Mul, Neg, Ref, Sqrt, Sub,
+                       Transpose)
+from ..ir.operands import View
+from ..ir.program import Assign, Program, Statement
+from ..ir.properties import Structure
+from .diagnostics import Diagnostic
+
+PASS = "structure"
+ALIAS_PASS = "alias"
+
+
+def structurally_zero(expr: Expr) -> bool:
+    """True when ``expr`` evaluates to zero on *every* input, purely by
+    the declared operand structures (conservative: False when unsure)."""
+    if isinstance(expr, Ref):
+        return expr.view.structure is Structure.ZERO
+    if isinstance(expr, Const):
+        return expr.value == 0.0
+    if isinstance(expr, (Neg, Transpose, Sqrt)):
+        return structurally_zero(expr.child)
+    if isinstance(expr, Mul):
+        return structurally_zero(expr.left) or structurally_zero(expr.right)
+    if isinstance(expr, (Add, Sub)):
+        return structurally_zero(expr.left) and structurally_zero(expr.right)
+    if isinstance(expr, Div):
+        return structurally_zero(expr.left)
+    return False  # Inverse and future node kinds: never provably zero
+
+
+def check_program(program: Program) -> List[Diagnostic]:
+    """All mathematical-level diagnostics for one program."""
+    diags: List[Diagnostic] = []
+    try:
+        program.validate()
+    except LASemanticError as exc:
+        diags.append(Diagnostic(PASS, "error",
+                                f"program validation failed: {exc}",
+                                program.name))
+    try:
+        leaders = program.storage_groups()
+    except LASemanticError as exc:
+        diags.append(Diagnostic(ALIAS_PASS, "error",
+                                f"invalid ow() chain: {exc}", program.name))
+        leaders = {name: name for name in program.operands}
+
+    for stmt in program.flat_statements():
+        location = _location(stmt)
+        if isinstance(stmt, Assign) \
+                and stmt.lhs.structure is not Structure.ZERO \
+                and structurally_zero(stmt.rhs):
+            diags.append(Diagnostic(
+                PASS, "error",
+                f"assigns a structurally-zero expression to "
+                f"{_describe(stmt.lhs)}: every factor path through the "
+                f"right-hand side crosses a zero-structure block, so "
+                f"the destination only ever receives zeros -- a "
+                f"wrong-coefficient/offset bug", location))
+        diags.extend(_zero_divisions(stmt, location))
+        for view in stmt.reads():
+            if view.structure is Structure.ZERO:
+                diags.append(Diagnostic(
+                    PASS, "warn",
+                    f"reads the structurally-zero block "
+                    f"{_describe(view)} -- every element there is zero "
+                    f"by the {view.operand.properties.structure.value} "
+                    f"structure of {view.operand.name!r}", location))
+        for view in stmt.writes():
+            if view.structure is Structure.ZERO:
+                diags.append(Diagnostic(
+                    PASS, "error",
+                    f"writes the structurally-zero block "
+                    f"{_describe(view)} of "
+                    f"{view.operand.properties.structure.value} operand "
+                    f"{view.operand.name!r}", location))
+        diags.extend(_alias_hazards(stmt, leaders, location))
+    return diags
+
+
+def _zero_divisions(stmt: Statement, location: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for expr in _statement_exprs(stmt):
+        for node in expr.walk():
+            if isinstance(node, Div) and structurally_zero(node.right):
+                diags.append(Diagnostic(
+                    PASS, "error",
+                    f"divides by a structurally-zero denominator: the "
+                    f"divisor is zero on every input", location))
+    return diags
+
+
+def _statement_exprs(stmt: Statement):
+    for attr in ("rhs", "lhs"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, Expr):
+            yield value
+
+
+def _alias_hazards(stmt: Statement, leaders: Dict[str, str],
+                   location: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for write in stmt.writes():
+        wleader = leaders.get(write.operand.name, write.operand.name)
+        wbox = _box(write)
+        for read in stmt.reads():
+            if read.operand is write.operand:
+                continue  # same-operand overlap is ordinary data flow
+            rleader = leaders.get(read.operand.name, read.operand.name)
+            if rleader != wleader:
+                continue  # distinct buffers cannot alias
+            rbox = _box(read)
+            if _overlaps(wbox, rbox) and wbox != rbox:
+                diags.append(Diagnostic(
+                    ALIAS_PASS, "error",
+                    f"overlay hazard: write {_describe(write)} and read "
+                    f"{_describe(read)} share storage group "
+                    f"{wleader!r} and overlap only partially", location))
+    return diags
+
+
+def _box(view: View) -> Tuple[int, int, int, int]:
+    return (view.row_off, view.col_off,
+            view.row_off + view.rows, view.col_off + view.cols)
+
+
+def _overlaps(a: Tuple[int, int, int, int],
+              b: Tuple[int, int, int, int]) -> bool:
+    return a[0] < b[2] and b[0] < a[2] and a[1] < b[3] and b[1] < a[3]
+
+
+def check_symmetric_storage(program: Program) -> List[Diagnostic]:
+    """Warn when a symmetric operand is written *only* in its non-stored
+    half (``UpSym`` stores the upper half, ``LoSym`` the lower).
+
+    Generated code routinely materializes both halves of a symmetric
+    output, so individual mirror-half writes are normal; a program whose
+    every write to the operand avoids the stored half looks like a
+    transposed-offset bug and warns once per operand.
+    """
+    from ..ir.properties import StorageHalf
+    mirror_only: Dict[str, List[View]] = {}
+    for stmt in program.flat_statements():
+        for view in stmt.writes():
+            props = view.operand.properties
+            if props.structure is not Structure.SYMMETRIC:
+                continue
+            if props.storage is StorageHalf.UPPER:
+                in_mirror = view.row_off >= view.col_off + view.cols
+            elif props.storage is StorageHalf.LOWER:
+                in_mirror = view.col_off >= view.row_off + view.rows
+            else:
+                continue
+            name = view.operand.name
+            if not in_mirror:
+                mirror_only[name] = []  # stored half is touched: quiet
+            elif name not in mirror_only or mirror_only[name]:
+                mirror_only.setdefault(name, []).append(view)
+    diags: List[Diagnostic] = []
+    for name, views in sorted(mirror_only.items()):
+        if not views:
+            continue
+        props = views[0].operand.properties
+        half = "below" if props.storage is StorageHalf.UPPER else "above"
+        diags.append(Diagnostic(
+            PASS, "warn",
+            f"every write to symmetric operand {name!r} lands entirely "
+            f"{half} the diagonal, but its {props.storage.value} half is "
+            f"the stored one (first: {_describe(views[0])})", name))
+    return diags
+
+
+def _describe(view: View) -> str:
+    return (f"{view.operand.name}[{view.row_off}:"
+            f"{view.row_off + view.rows},{view.col_off}:"
+            f"{view.col_off + view.cols}]")
+
+
+def _location(stmt: Statement) -> str:
+    text = repr(stmt)
+    return text if len(text) <= 96 else text[:93] + "..."

@@ -52,7 +52,7 @@ class Counterexample:
     """One input draw that refutes a candidate, and how it refuted it."""
 
     seed: int                     # make_inputs seed of the refuting draw
-    stage: str                    # execute | baseline | backend | reference
+    stage: str                    # analysis | execute | baseline | backend | reference
     detail: str                   # backend or comparison pair
     worst_delta: float = 0.0
     divergent: List[str] = field(default_factory=list)
@@ -60,6 +60,8 @@ class Counterexample:
     error: str = ""
 
     def describe(self) -> str:
+        if self.stage == "analysis":
+            return (f"static refutation: {self.error_type}: {self.error}")
         if self.stage == "execute":
             return (f"seed {self.seed}: crash on {self.detail}: "
                     f"{self.error_type}: {self.error}")
@@ -140,6 +142,20 @@ def find_counterexample(program_a: Program, program_b: Program,
     except Exception as exc:   # noqa: BLE001 - any crash refutes
         return Counterexample(seed=-1, stage="execute", detail="generate",
                               error_type=type(exc).__name__, error=str(exc))
+
+    # Static refutation before any dynamic draw is spent: a candidate
+    # whose artifact the verifier rejects (out-of-bounds access,
+    # structurally-zero read, width mismatch) is wrong on *every* input,
+    # so no sampling budget is needed to refute it.
+    from ..analysis import verify_function, verify_program
+    report = verify_function(result_b.function)
+    if result_b.basic_program is not None:
+        report = report.merged_with(verify_program(result_b.basic_program))
+    if not report.ok:
+        return Counterexample(
+            seed=-1, stage="analysis", detail="static",
+            error_type="AnalysisError",
+            error="; ".join(d.describe() for d in report.errors[:8]))
 
     kernels_a = {}
     kernels_b = {}

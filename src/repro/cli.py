@@ -1,7 +1,8 @@
 """Shared command-line conventions for every ``python -m repro.*`` tool.
 
-All seven entry points (service, tuning, cegis, backend, fuzz, perf,
-pipeline -- plus the docs maintenance commands) follow one contract,
+All eight entry points (service, tuning, cegis, backend, fuzz, perf,
+pipeline, analysis -- plus the docs maintenance commands) follow one
+contract,
 implemented here so it cannot drift per subsystem:
 
 **Exit codes.**

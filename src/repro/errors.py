@@ -109,3 +109,13 @@ class CegisError(ReproError):
 class PerfError(ReproError):
     """Raised by the continuous-performance subsystem (malformed
     manifests, unusable trajectory files, structurally invalid runs)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the static verifier rejects a pipeline artifact.
+
+    Only strict-mode gating raises (``Options.analysis == "strict"``);
+    warn mode records diagnostics without interrupting generation.  The
+    message carries the error diagnostics of the failing
+    :class:`repro.analysis.AnalysisReport`.
+    """

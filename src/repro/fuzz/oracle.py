@@ -76,7 +76,7 @@ class CaseResult:
     """Outcome of one differential run."""
 
     status: str                   # ok | reject | crash | divergence
-    stage: str = ""               # parse | generate | execute | compare | reference
+    stage: str = ""               # parse | generate | analysis | execute | compare | reference
     error_type: str = ""
     error: str = ""
     backend: str = ""             # backend that crashed (execute stage)
@@ -474,6 +474,20 @@ def run_case(case: FuzzCase, backends: str = "auto",
     except Exception as exc:   # noqa: BLE001
         return CaseResult(status="crash", stage="generate",
                           error_type=type(exc).__name__, error=str(exc))
+
+    # Static verification before any backend spends execution work: an
+    # artifact the verifier rejects is a pipeline bug even if every
+    # backend happens to agree on it (e.g. all reading the same
+    # out-of-bounds garbage or the same structural zero).
+    from ..analysis import verify_function, verify_program
+    report = verify_function(result.function)
+    if result.basic_program is not None:
+        report = report.merged_with(verify_program(result.basic_program))
+    if not report.ok:
+        return CaseResult(
+            status="crash", stage="analysis", backends=names,
+            error_type="AnalysisError",
+            error="; ".join(d.describe() for d in report.errors[:8]))
 
     inputs = make_inputs(program, case.input_seed)
 

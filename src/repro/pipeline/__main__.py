@@ -18,6 +18,12 @@ Usage (``PYTHONPATH=src python -m repro.pipeline <command>``)::
         none).  The partition is asserted complete against the Options
         dataclass on import, so this listing cannot go stale.
 
+    purge [--phase-cache DIR] [--gc] [--yes] [--json]
+        Empty the persistent phase-cache layer (or, with ``--gc``, only
+        evict oldest-modified entries until it fits its size bound).
+        The target directory comes from ``--phase-cache`` or
+        ``$REPRO_PHASE_CACHE``; purging prompts unless ``--yes``.
+
 A SPEC is ``name:size`` (``potrf:8``) or ``name:sizexk`` (``kf:8x4``) --
 the same workload addresses the kernel service uses.  ``--phase-cache``
 adds a persistent artifact layer under DIR (also: the
@@ -36,7 +42,7 @@ from ..cli import EXIT_FAILURE, EXIT_OK, add_json_flag, fail, print_json
 from ..errors import ReproError
 from ..slingen.options import Options
 from .cache import PersistentPhaseStore, PhaseCache
-from .keys import PHASE_AXES, PHASES, SEARCH_AXES
+from .keys import GATE_AXES, PHASE_AXES, PHASES, SEARCH_AXES
 
 #: Version of the ``profile --json`` document; bump on any incompatible
 #: change.  The document is ``{"schema": N, "workloads": [{"spec",
@@ -73,6 +79,20 @@ def _build_parser() -> argparse.ArgumentParser:
     axes = sub.add_parser(
         "axes", help="print the phase -> option-axis partition")
     add_json_flag(axes)
+
+    purge = sub.add_parser(
+        "purge", help="empty (or, with --gc, size-bound) the persistent "
+                      "phase-cache layer")
+    purge.add_argument("--phase-cache", default=None, metavar="DIR",
+                       help="persistent layer root (default: "
+                            "$REPRO_PHASE_CACHE)")
+    purge.add_argument("--gc", action="store_true", dest="only_gc",
+                       help="evict oldest entries down to the size bound "
+                            "($REPRO_PHASE_CACHE_LIMIT) instead of "
+                            "removing everything")
+    purge.add_argument("--yes", action="store_true",
+                       help="skip the confirmation prompt")
+    add_json_flag(purge)
     return parser
 
 
@@ -169,11 +189,52 @@ def _cmd_axes(args: argparse.Namespace) -> int:
         print_json({
             "phases": {phase: list(PHASE_AXES[phase]) for phase in PHASES},
             "search": list(SEARCH_AXES),
+            "gate": list(GATE_AXES),
         })
         return EXIT_OK
     for phase in PHASES:
         print(f"{phase:10s} {', '.join(PHASE_AXES[phase])}")
     print(f"{'(search)':10s} {', '.join(SEARCH_AXES)}")
+    print(f"{'(gate)':10s} {', '.join(GATE_AXES)}")
+    return EXIT_OK
+
+
+def _cmd_purge(args: argparse.Namespace) -> int:
+    import os
+
+    from ..cli import confirm
+    from .cache import ENV_PHASE_CACHE, ENV_PHASE_CACHE_LIMIT, parse_size
+
+    root = args.phase_cache or os.environ.get(ENV_PHASE_CACHE, "").strip()
+    if not root:
+        raise ReproError("no persistent phase cache configured: pass "
+                         "--phase-cache DIR or set $REPRO_PHASE_CACHE")
+    limit = os.environ.get(ENV_PHASE_CACHE_LIMIT)
+    store = PersistentPhaseStore(
+        root, max_bytes=parse_size(limit) if limit is not None else None)
+    before = store.total_bytes()
+
+    if args.only_gc:
+        if store.max_bytes is None:
+            raise ReproError("--gc needs a size bound: set "
+                             "$REPRO_PHASE_CACHE_LIMIT (e.g. 512M)")
+        removed = store.gc()
+    else:
+        if not confirm(f"purge the persistent phase cache at {store.root}?",
+                       assume_yes=args.yes):
+            print("aborted")
+            return EXIT_FAILURE
+        removed = store.purge()
+
+    after = store.total_bytes()
+    if args.as_json:
+        print_json({"root": store.root, "removed": removed,
+                    "bytes_before": before, "bytes_after": after,
+                    "gc": args.only_gc})
+        return EXIT_OK
+    action = "evicted" if args.only_gc else "purged"
+    print(f"{action} {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"({before - after} bytes) from {store.root}")
     return EXIT_OK
 
 
@@ -182,6 +243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "purge":
+            return _cmd_purge(args)
         return _cmd_axes(args)
     except ReproError as exc:
         return fail(exc)

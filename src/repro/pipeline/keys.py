@@ -69,11 +69,21 @@ PHASE_AXES: Dict[str, Tuple[str, ...]] = {
 SEARCH_AXES: Tuple[str, ...] = ("autotune", "max_variants",
                                 "stage1_variants")
 
+#: Options fields that gate artifacts without changing them.  The static
+#: verifier (:mod:`repro.analysis`) observes each phase's output and
+#: either records diagnostics or refuses to cache it -- identical
+#: artifacts are produced under every mode, so these axes feed no phase
+#: key (and :func:`repro.service.keys.canonical_options` drops them from
+#: the kernel-store key for the same reason).
+GATE_AXES: Tuple[str, ...] = ("analysis",)
+
 
 def partition() -> Dict[str, Tuple[str, ...]]:
-    """The full axis partition, phases plus the search-control bucket."""
+    """The full axis partition: phases plus the search-control and
+    artifact-gate buckets."""
     table = dict(PHASE_AXES)
     table["search"] = SEARCH_AXES
+    table["gate"] = GATE_AXES
     return table
 
 

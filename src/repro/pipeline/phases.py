@@ -16,6 +16,15 @@ details make that true:
   ``run_pipeline`` both mutate in place, so the rewrite and optimize
   drivers deep-copy their input artifact's program/function first.
 
+Every driver takes an ``analysis`` gate mode (``Options.analysis``):
+on a cache miss the freshly built artifact is handed to
+:func:`repro.analysis.gate_artifact` *before* ``cache.put``, so under
+``strict`` an ill-formed program/function raises
+:class:`~repro.errors.AnalysisError` and never reaches the phase cache,
+the kernel store, or a client.  Cache hits are not re-verified: an
+artifact in the cache either passed the gate or was admitted with the
+gate off.
+
 ``build_candidate`` in :mod:`repro.slingen.generator` chains the four
 drivers and is the only intended caller; the drivers are exposed for
 tests and the ``python -m repro.pipeline profile`` CLI.
@@ -46,10 +55,17 @@ def _finish(timings: Optional[PhaseTimings], phase: str, started: float,
         timings.record(phase, time.perf_counter() - started, hit)
 
 
+def _gate(phase: str, artifact, analysis: str) -> None:
+    if analysis != "off":
+        from ..analysis import gate_artifact
+        gate_artifact(phase, artifact, analysis)
+
+
 def stage1(program: Program, block_size: int,
            variant_choices: Mapping[int, str],
            cache: Optional[PhaseCache] = None,
-           timings: Optional[PhaseTimings] = None) -> Stage1Artifact:
+           timings: Optional[PhaseTimings] = None,
+           analysis: str = "off") -> Stage1Artifact:
     """Synthesize (or recall) the basic program for one variant choice."""
     started = time.perf_counter()
     key = stage1_key(program, block_size, variant_choices)
@@ -63,6 +79,7 @@ def stage1(program: Program, block_size: int,
         label=f"v{len(variant_choices)}")
     artifact = Stage1Artifact(key=key, result=result,
                               database_stats=database.stats())
+    _gate("stage1", result.program, analysis)
     if cache is not None:
         cache.put("stage1", key, artifact)
     _finish(timings, "stage1", started, hit=False)
@@ -72,7 +89,8 @@ def stage1(program: Program, block_size: int,
 def rewrite(stage1_artifact: Stage1Artifact, rewrite_rules: bool,
             verified_rewrites: Sequence[str],
             cache: Optional[PhaseCache] = None,
-            timings: Optional[PhaseTimings] = None) -> RewrittenProgram:
+            timings: Optional[PhaseTimings] = None,
+            analysis: str = "off") -> RewrittenProgram:
     """Apply the sound R0/R1 tier and any CEGIS-verified rewrites."""
     started = time.perf_counter()
     key = rewrite_key(stage1_artifact.key, rewrite_rules, verified_rewrites)
@@ -91,6 +109,7 @@ def rewrite(stage1_artifact: Stage1Artifact, rewrite_rules: bool,
         program = apply_sequence(verified_rewrites, program)
     artifact = RewrittenProgram(key=key, stage1_key=stage1_artifact.key,
                                 program=program, report=report)
+    _gate("rewrite", program, analysis)
     if cache is not None:
         cache.put("rewrite", key, artifact)
     _finish(timings, "rewrite", started, hit=False)
@@ -100,7 +119,8 @@ def rewrite(stage1_artifact: Stage1Artifact, rewrite_rules: bool,
 def lower(rewritten: RewrittenProgram, vector_width: int,
           use_shuffle_transpose: bool, function_name: str, annotate: bool,
           cache: Optional[PhaseCache] = None,
-          timings: Optional[PhaseTimings] = None) -> LoweredFunction:
+          timings: Optional[PhaseTimings] = None,
+          analysis: str = "off") -> LoweredFunction:
     """Lower the rewritten basic program to a C-IR function."""
     started = time.perf_counter()
     key = lower_key(rewritten.key, vector_width, use_shuffle_transpose,
@@ -116,6 +136,7 @@ def lower(rewritten: RewrittenProgram, vector_width: int,
         annotate=annotate)
     artifact = LoweredFunction(key=key, rewrite_key=rewritten.key,
                                function=function, stats=stats)
+    _gate("lower", function, analysis)
     if cache is not None:
         cache.put("lower", key, artifact)
     _finish(timings, "lower", started, hit=False)
@@ -124,7 +145,8 @@ def lower(rewritten: RewrittenProgram, vector_width: int,
 
 def optimize(lowered: LoweredFunction, pass_options: PassOptions,
              cache: Optional[PhaseCache] = None,
-             timings: Optional[PhaseTimings] = None) -> OptimizedFunction:
+             timings: Optional[PhaseTimings] = None,
+             analysis: str = "off") -> OptimizedFunction:
     """Run the Stage-3 pass pipeline on a private copy of the function."""
     started = time.perf_counter()
     key = optimize_key(lowered.key, pass_options.unroll,
@@ -140,6 +162,7 @@ def optimize(lowered: LoweredFunction, pass_options: PassOptions,
     report = run_pipeline(function, pass_options)
     artifact = OptimizedFunction(key=key, lower_key=lowered.key,
                                  function=function, pass_report=report)
+    _gate("optimize", function, analysis)
     if cache is not None:
         cache.put("optimize", key, artifact)
     _finish(timings, "optimize", started, hit=False)

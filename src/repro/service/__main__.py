@@ -27,7 +27,11 @@ The global flags ``--tuned`` / ``--tuning-db DIR`` (before the command:
 the persistent tuning database and generate with tuned-best options.
 Likewise ``--verified`` / ``--fixbank DIR`` make it consult the CEGIS fix
 bank and apply the banked verified rewrites before codegen; the two
-compose (tuned knobs + verified rewrite set).
+compose (tuned knobs + verified rewrite set).  ``--analysis warn|strict``
+forces the static-verification gate for every request: each pipeline
+phase checks its freshly built artifact, and in strict mode an error
+aborts generation before anything reaches the kernel store (counters
+surface under ``"analysis"`` in ``/stats``).
 """
 
 from __future__ import annotations
@@ -67,6 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "with them applied")
     parser.add_argument("--fixbank", default=None, metavar="DIR",
                         help="fix-bank root (implies --verified)")
+    parser.add_argument("--analysis", default=None,
+                        choices=("off", "warn", "strict"),
+                        help="static-verifier gate mode for every request "
+                             "(strict: ill-formed artifacts are refused "
+                             "before they can be cached or served; "
+                             "counters on /stats)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     warm = sub.add_parser("warm", help="generate-and-cache workloads")
@@ -433,7 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             store=store,
             max_workers=getattr(args, "workers", None)
             if args.command != "serve" else None,
-            tuning_db=tuning_db, fix_bank=fix_bank, leases=leases)
+            tuning_db=tuning_db, fix_bank=fix_bank, leases=leases,
+            analysis=args.analysis)
 
     try:
         service = make_service()

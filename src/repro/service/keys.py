@@ -114,8 +114,19 @@ def canonical_program(program: Program) -> str:
 
 
 def canonical_options(options: Options) -> Dict[str, object]:
-    """All option fields as a plain JSON-able dict (sorted at dump time)."""
-    return dataclasses.asdict(options)
+    """All *artifact-determining* option fields as a plain JSON-able dict.
+
+    Gate axes (:data:`repro.pipeline.keys.GATE_AXES` -- currently
+    ``analysis``) are dropped: they decide whether an artifact is
+    *admitted*, never what is generated, so requests differing only in
+    gate mode must share one kernel-store entry (and keys minted before
+    the axes existed stay valid).
+    """
+    from ..pipeline.keys import GATE_AXES
+    doc = dataclasses.asdict(options)
+    for axis in GATE_AXES:
+        doc.pop(axis, None)
+    return doc
 
 
 def machine_fingerprint(machine: MicroArchitecture) -> Dict[str, object]:

@@ -24,7 +24,7 @@ import threading
 import time
 from collections import deque
 from concurrent import futures
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ServiceError
@@ -193,13 +193,19 @@ class ServiceStats:
         denominator is zero); ``phase_cache`` -- hit/miss/put counters of
         this process's shared :class:`~repro.pipeline.cache.PhaseCache`
         (what generation work the staged pipeline memoized away), with a
-        ``per_phase`` breakdown.  The schema only grows; existing keys
+        ``per_phase`` breakdown; ``analysis`` -- this process's static
+        verifier counters (:func:`repro.analysis.stats_snapshot`:
+        artifacts checked, diagnostics found, strict-gate rejections).
+        The schema only grows; existing keys
         keep their meaning (``GET /stats`` of the HTTP daemon exposes
         this dict verbatim under ``"service"``).
         """
+        from ..analysis import stats_snapshot as analysis_snapshot
         phase_cache = self._phase_cache_snapshot()
+        analysis = analysis_snapshot()
         with self._lock:
             return {
+                "analysis": analysis,
                 "phase_cache": phase_cache,
                 "requests": self.requests,
                 "hits": self.hits,
@@ -291,7 +297,8 @@ class KernelService:
                  tuning_db: Optional[object] = None,
                  fix_bank: Optional[object] = None,
                  single_flight: bool = True,
-                 leases: Optional[object] = None):
+                 leases: Optional[object] = None,
+                 analysis: Optional[str] = None):
         """``executor`` selects the miss pool for :meth:`generate_many`:
         ``"process"`` (default) gives true CPU parallelism for the
         pure-Python generation pipeline; ``"thread"`` avoids process spawn
@@ -320,6 +327,14 @@ class KernelService:
         for tests and for measuring what coalescing buys
         (``benchmarks/bench_concurrent_service.py``).
 
+        ``analysis`` overrides ``Options.analysis`` on *every* request
+        this service answers (requests keep their other options): the
+        static-verifier gate mode, ``"off"``/``"warn"``/``"strict"``.
+        A gate axis never feeds the cache key, so flipping it does not
+        invalidate the store -- but under ``"strict"`` an ill-formed
+        artifact raises :class:`~repro.errors.AnalysisError` before it
+        can be stored or served.
+
         ``leases`` (a :class:`~repro.service.leases.LeaseManager`,
         conventionally ``LeaseManager.for_store(store)``) extends
         single-flight *across processes*: the in-process flight leader
@@ -345,6 +360,10 @@ class KernelService:
                 "cross-process leases require single_flight=True "
                 "(the lease is taken by the in-process flight leader)")
         self.leases = leases
+        if analysis is not None:
+            from ..analysis import validate_mode
+            validate_mode(analysis)
+        self.analysis = analysis
         self.stats = ServiceStats()
         self._flight = _SingleFlight()
 
@@ -387,6 +406,8 @@ class KernelService:
             if banked is not None and banked.verified_rewrites:
                 options = banked.validate()
                 verified = True
+        if self.analysis is not None and options.analysis != self.analysis:
+            options = replace(options, analysis=self.analysis)
         return options, tuned, verified
 
     def request_key(self, request: Union[GenerationRequest, Program]) -> str:

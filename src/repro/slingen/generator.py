@@ -257,16 +257,18 @@ def build_candidate(program: Program, options: Options,
     estimate -- a cheap static analysis parameterized by the machine
     model -- is recomputed every call.
     """
+    analysis = options.analysis
     stage1_art = pipeline_phases.stage1(
         program, codegen.block_size or block_size, variant_choices,
-        cache=cache, timings=timings)
+        cache=cache, timings=timings, analysis=analysis)
     rewritten = pipeline_phases.rewrite(
         stage1_art, options.rewrite_rules, options.verified_rewrites,
-        cache=cache, timings=timings)
+        cache=cache, timings=timings, analysis=analysis)
     lowered = pipeline_phases.lower(
         rewritten, codegen.vector_width, codegen.use_shuffle_transpose,
         function_name=options.function_name or f"{program.name}_kernel",
-        annotate=options.annotate_code, cache=cache, timings=timings)
+        annotate=options.annotate_code, cache=cache, timings=timings,
+        analysis=analysis)
     pass_options = PassOptions(
         unroll=options.unroll,
         max_unroll_trip_count=codegen.unroll_trip_count,
@@ -278,7 +280,8 @@ def build_candidate(program: Program, options: Options,
         dead_code_elimination=True,
         algebraic_simplification=True)
     optimized = pipeline_phases.optimize(lowered, pass_options,
-                                         cache=cache, timings=timings)
+                                         cache=cache, timings=timings,
+                                         analysis=analysis)
 
     estimate = analyze_function(optimized.function, machine=machine,
                                 nominal_flops=nominal_flops)

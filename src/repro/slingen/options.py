@@ -44,6 +44,14 @@ class Options:
         callers must only enable ids a verification run accepted for
         this concrete program (normally via a
         :class:`~repro.cegis.fixbank.FixRecord`).
+    analysis:
+        Static-verification gate mode (:mod:`repro.analysis`): ``"off"``
+        skips verification, ``"warn"`` verifies every freshly built
+        phase artifact and records diagnostics in the analysis stats,
+        ``"strict"`` additionally raises
+        :class:`~repro.errors.AnalysisError` on any error diagnostic
+        *before* the artifact is cached.  A gate axis: it never changes
+        what any phase computes, so it feeds no cache key.
     """
 
     vectorize: bool = True
@@ -62,6 +70,7 @@ class Options:
     annotate_code: bool = True
     function_name: Optional[str] = None
     verified_rewrites: Tuple[str, ...] = ()
+    analysis: str = "off"
 
     def validate(self) -> "Options":
         """Check option consistency; raises
@@ -104,6 +113,10 @@ class Options:
             raise ConfigurationError(
                 f"function_name must be a valid C identifier, "
                 f"got {self.function_name!r}")
+        if self.analysis not in ("off", "warn", "strict"):
+            raise ConfigurationError(
+                f"analysis must be 'off', 'warn' or 'strict', "
+                f"got {self.analysis!r}")
         if self.verified_rewrites:
             # normalize to a tuple so JSON round-trips (which produce
             # lists) hash identically in the service cache keys

@@ -12,6 +12,7 @@ The load-bearing properties:
 * the builder's memo survives concurrent access.
 """
 
+import json
 import os
 import pickle
 import threading
@@ -287,3 +288,86 @@ class TestApiFacade:
         result = ApiSLinGen(ApiOptions(vectorize=False)).generate_result(
             case.program)
         assert "void" in result.c_code
+
+
+class TestPersistentStoreBound:
+    """The persistent layer's size bound, GC, and purge path."""
+
+    def _fill(self, store, count=10, size=800):
+        for index in range(count):
+            key = f"{index:02d}" * 20
+            store.put("stage1", key, b"x" * size)
+            # distinct mtimes so eviction order is deterministic
+            path = store._path("stage1", key)
+            os.utime(path, (index, index))
+        return [f"{index:02d}" * 20 for index in range(count)]
+
+    def test_parse_size(self):
+        from repro.pipeline.cache import parse_size
+        assert parse_size("512M") == 512 << 20
+        assert parse_size("2g") == 2 << 30
+        assert parse_size("1024") == 1024
+        assert parse_size("0") is None and parse_size("") is None
+        with pytest.raises(ConfigurationError):
+            parse_size("lots")
+
+    def test_overflowing_put_evicts_oldest_first(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=5000)
+        keys_in_order = self._fill(store)
+        stats = store.stats()
+        assert stats["total_bytes"] <= 5000
+        assert stats["evictions"] > 0
+        assert store.get("stage1", keys_in_order[0]) is None   # oldest
+        assert store.get("stage1", keys_in_order[-1]) is not None
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=None)
+        self._fill(store)
+        assert store.stats()["evictions"] == 0
+        assert store.gc() == 0                      # no bound: no-op
+
+    def test_purge_empties_and_counts(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=None)
+        keys_in_order = self._fill(store, count=4)
+        assert store.purge() == 4
+        assert store.total_bytes() == 0
+        assert all(store.get("stage1", key) is None
+                   for key in keys_in_order)
+
+    def test_corrupt_drop_updates_size_accounting(self, tmp_path):
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=None)
+        store.put("stage1", "ab" * 20, b"payload")
+        total = store.total_bytes()
+        path = store._path("stage1", "ab" * 20)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert store.get("stage1", "ab" * 20) is None
+        assert store.stats()["corrupt_dropped"] == 1
+        assert store.total_bytes() < total
+
+    def test_purge_cli(self, tmp_path, capsys):
+        from repro.pipeline.__main__ import main as pipeline_main
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=None)
+        self._fill(store, count=3)
+        code = pipeline_main(["purge", "--phase-cache", str(tmp_path),
+                              "--yes", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["removed"] == 3 and doc["bytes_after"] == 0
+        assert pipeline_main(["purge"]) == 2        # no root configured
+        capsys.readouterr()
+
+    def test_gc_cli_requires_bound(self, tmp_path, monkeypatch, capsys):
+        from repro.pipeline.__main__ import main as pipeline_main
+        monkeypatch.delenv("REPRO_PHASE_CACHE_LIMIT", raising=False)
+        assert pipeline_main(["purge", "--phase-cache", str(tmp_path),
+                              "--gc"]) == 2
+        capsys.readouterr()
+        store = PersistentPhaseStore(str(tmp_path), max_bytes=None)
+        self._fill(store)
+        monkeypatch.setenv("REPRO_PHASE_CACHE_LIMIT", "5000")
+        assert pipeline_main(["purge", "--phase-cache", str(tmp_path),
+                              "--gc", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gc"] and doc["removed"] > 0
+        assert doc["bytes_after"] <= 5000
